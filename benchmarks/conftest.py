@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at a reduced
+(but shape-preserving) scale so the whole suite runs in minutes on a laptop.
+Set ``WISYNC_FULL_SWEEPS=1`` in the environment to use the paper's full
+parameter sweeps (substantially slower).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL_SWEEPS = os.environ.get("WISYNC_FULL_SWEEPS", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def full_sweeps() -> bool:
+    return FULL_SWEEPS
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Attach the sweep mode so stored results are comparable."""
+    output_json["wisync_full_sweeps"] = FULL_SWEEPS

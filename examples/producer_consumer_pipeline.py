@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Producer/consumer pipeline over the Broadcast Memory (Section 4.3.4).
+
+A producer thread streams 4-word payloads to a consumer through a
+full/empty-flag slot.  On WiSync the payload moves as a single 15-cycle Bulk
+message and the flag as one 5-cycle message; on the conventional machine the
+same protocol runs through the coherence protocol.  The example prints the
+cycles per payload hand-off for both machines.
+"""
+
+from repro import Manycore, SyncFactory, baseline, wisync
+from repro.analysis.tables import format_table
+from repro.isa.operations import Compute
+
+PAYLOADS = 16
+
+
+def run_pipeline(config):
+    machine = Manycore(config)
+    program = machine.new_program("pipeline")
+    sync = SyncFactory(program)
+    channel = sync.create_channel()
+    received = []
+
+    def producer(ctx):
+        for index in range(PAYLOADS):
+            yield Compute(ctx.rng.jitter(40))
+            yield from channel.produce(ctx, (index, index * 2, index * 3, index * 4))
+
+    def consumer(ctx):
+        for _ in range(PAYLOADS):
+            values = yield from channel.consume(ctx)
+            received.append(values)
+            yield Compute(ctx.rng.jitter(40))
+
+    program.add_thread(producer, core_id=0)
+    program.add_thread(consumer, core_id=machine.config.num_cores - 1)
+    result = machine.run()
+    assert received == [(i, i * 2, i * 3, i * 4) for i in range(PAYLOADS)]
+    return result
+
+
+def main():
+    rows = []
+    for config_fn in (baseline, wisync):
+        config = config_fn(num_cores=16)
+        result = run_pipeline(config)
+        rows.append([
+            config.name,
+            result.total_cycles,
+            round(result.total_cycles / PAYLOADS, 1),
+            result.wireless_messages,
+        ])
+    print(format_table(
+        ["configuration", "total cycles", "cycles/payload", "wireless msgs"],
+        rows,
+        title=f"Producer/consumer pipeline, {PAYLOADS} four-word payloads, far-apart cores",
+    ))
+    print("\nOn WiSync the hand-off latency is independent of the distance between")
+    print("producer and consumer because the payload is broadcast wirelessly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: run the same barrier-heavy kernel on all four architectures.
+
+Builds a small manycore for each Table 2 configuration (Baseline, Baseline+,
+WiSyncNoT, WiSync), runs a kernel in which every thread repeatedly computes
+and crosses a barrier, and prints execution time, wireless traffic, and the
+speedup over Baseline.
+"""
+
+from repro import Manycore, SyncFactory, baseline, baseline_plus, wisync, wisync_not
+from repro.analysis.tables import format_table
+from repro.isa.operations import Compute
+
+CORES = 16
+ITERATIONS = 8
+
+
+def build_and_run(config):
+    machine = Manycore(config)
+    program = machine.new_program("quickstart")
+    sync = SyncFactory(program)
+    barrier = sync.create_barrier(CORES)
+    reducer = sync.create_reducer()
+
+    def body(ctx):
+        for _ in range(ITERATIONS):
+            yield Compute(ctx.rng.jitter(150))
+            yield from reducer.add(ctx, 1)
+            yield from barrier.wait(ctx)
+
+    for _ in range(CORES):
+        program.add_thread(body)
+    return machine.run()
+
+
+def main():
+    results = {}
+    for config_fn in (baseline, baseline_plus, wisync_not, wisync):
+        config = config_fn(num_cores=CORES)
+        results[config.name] = build_and_run(config)
+
+    base_cycles = results["baseline"].total_cycles
+    rows = []
+    for name, result in results.items():
+        rows.append([
+            name,
+            result.total_cycles,
+            round(base_cycles / result.total_cycles, 2),
+            result.wireless_messages,
+            result.wireless_collisions,
+            f"{100 * result.data_channel_utilization():.2f}%",
+        ])
+    print(format_table(
+        ["configuration", "cycles", "speedup vs baseline", "wireless msgs",
+         "collisions", "data-channel util"],
+        rows,
+        title=f"Barrier+reduction kernel, {CORES} cores, {ITERATIONS} iterations",
+    ))
+
+
+if __name__ == "__main__":
+    main()

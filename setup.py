@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package (offline installs) can still
+perform a legacy editable install with ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Analysis helpers: metrics, the Table 4 area/power model, and table text."""
+
+from repro.analysis.area_power import CORE_REFERENCES, CoreReference, area_power_table
+from repro.analysis.metrics import speedup, speedups_over_baseline, throughput_per_kcycle
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "CoreReference",
+    "CORE_REFERENCES",
+    "area_power_table",
+    "speedup",
+    "speedups_over_baseline",
+    "throughput_per_kcycle",
+    "format_table",
+]

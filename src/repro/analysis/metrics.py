@@ -1,0 +1,44 @@
+"""Metric computations used by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+from repro.machine.results import SimResult
+from repro.sim.stats import arithmetic_mean, geometric_mean
+
+
+def speedup(baseline_cycles: float, other_cycles: float) -> float:
+    """Execution-time speedup of ``other`` relative to ``baseline``."""
+    if other_cycles <= 0:
+        return 0.0
+    return baseline_cycles / other_cycles
+
+
+def speedups_over_baseline(results: Mapping[str, SimResult], baseline_name: str = "baseline") -> Dict[str, float]:
+    """Per-configuration speedups over the named baseline result."""
+    base = results[baseline_name]
+    return {
+        name: speedup(base.total_cycles, result.total_cycles)
+        for name, result in results.items()
+    }
+
+
+def throughput_per_kcycle(total_operations: int, total_cycles: int) -> float:
+    """Operations per 1000 cycles (the y-axis of Figure 9)."""
+    if total_cycles <= 0:
+        return 0.0
+    return 1000.0 * total_operations / total_cycles
+
+
+def geometric_mean_speedup(values: Iterable[float]) -> float:
+    return geometric_mean(list(values))
+
+
+def arithmetic_mean_speedup(values: Iterable[float]) -> float:
+    return arithmetic_mean(list(values))
+
+
+def utilization_percent(result: SimResult) -> float:
+    """Data-channel utilization as a percentage of total cycles (Table 5)."""
+    return 100.0 * result.data_channel_utilization()

@@ -1,0 +1,41 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render a fixed-width text table (used by experiments and examples)."""
+    rendered_rows = [[_format_value(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def rows_from_dict(mapping: Dict[str, Dict[str, Any]], key_header: str = "name") -> List[List[Any]]:
+    """Flatten a nested dict (row name -> column dict) into table rows."""
+    rows: List[List[Any]] = []
+    for name, columns in mapping.items():
+        row: List[Any] = [name]
+        row.extend(columns.values())
+        rows.append(row)
+    return rows

@@ -1,0 +1,29 @@
+"""WiSync core architecture: the paper's primary contribution.
+
+This package models the per-core Broadcast Memory (BM), the BM controller
+with its Write Completion and Atomicity Failure bits, TLB-based BM address
+translation with PID-tagged chunk protection, the tone controller with its
+AllocB/ActiveB tables, and the :class:`~repro.core.fabric.BroadcastFabric`
+that connects all of it to the wireless Data and Tone channels.
+"""
+
+from repro.core.allocator import BmAllocator
+from repro.core.bm_controller import BmController, RmwResult
+from repro.core.broadcast_memory import BmEntry, BroadcastMemory
+from repro.core.fabric import BroadcastFabric
+from repro.core.node import WiSyncNode
+from repro.core.tone_controller import ToneController
+from repro.core.translation import BmTlb, PageMapping
+
+__all__ = [
+    "BmEntry",
+    "BroadcastMemory",
+    "BmAllocator",
+    "BmController",
+    "RmwResult",
+    "BroadcastFabric",
+    "WiSyncNode",
+    "ToneController",
+    "BmTlb",
+    "PageMapping",
+]

@@ -1,0 +1,178 @@
+"""Per-node Broadcast-Memory controller.
+
+Implements the access semantics of Section 4.2.1: plain loads read the local
+BM and always succeed; stores first perform the global wireless broadcast
+(retrying on collisions) and only then update the local BM and set the Write
+Completion Bit (WCB); atomic read-modify-write instructions read the local
+BM, broadcast the updated value, and fail (Atomicity Failure Bit, AFB) if a
+remote write to the same location arrives in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.config import BroadcastMemoryConfig
+from repro.errors import MemoryError_
+from repro.isa.operations import RmwKind
+from repro.mem.hierarchy import apply_rmw
+from repro.wireless.transceiver import Transceiver
+from repro.wireless.channel import WirelessMessage
+
+
+@dataclass(frozen=True)
+class RmwResult:
+    """Outcome of a BM read-modify-write instruction."""
+
+    old_value: int
+    success: bool
+    afb: bool
+    completion_cycle: int
+
+
+class BmController:
+    """Front end between one core's pipeline and the wireless fabric."""
+
+    def __init__(
+        self,
+        node_id: int,
+        fabric: "BroadcastFabric",
+        transceiver: Transceiver,
+        config: BroadcastMemoryConfig,
+    ) -> None:
+        self.node_id = node_id
+        self.fabric = fabric
+        self.transceiver = transceiver
+        self.config = config
+        #: Write Completion Bit: set when the last store/RMW fully performed.
+        self.wcb: bool = False
+        #: Atomicity Failure Bit of the last RMW instruction.
+        self.afb: bool = False
+        self.stores_issued = 0
+        self.rmws_issued = 0
+        self.rmw_failures = 0
+
+    # ----------------------------------------------------------------- loads
+    def load(self, addr: int, pid: Optional[int] = None) -> Tuple[int, int]:
+        """Plain load; returns ``(value, latency_cycles)``."""
+        value = self.fabric.memory.read(addr, pid)
+        return value, self.config.round_trip
+
+    def bulk_load(self, addr: int, pid: Optional[int] = None) -> Tuple[Tuple[int, ...], int]:
+        """Bulk load of four consecutive entries from the local BM."""
+        values = tuple(self.fabric.memory.read(addr + i, pid) for i in range(4))
+        return values, self.config.round_trip
+
+    # ---------------------------------------------------------------- stores
+    def store(
+        self,
+        addr: int,
+        value: int,
+        on_done: Callable[[int], None],
+        pid: Optional[int] = None,
+    ) -> None:
+        """Broadcast store; ``on_done(completion_cycle)`` fires when performed."""
+        self.wcb = False
+        self.stores_issued += 1
+
+        def _complete(message: WirelessMessage, cycle: int) -> None:
+            self.fabric.apply_store(addr, value, self.node_id, cycle, pid)
+            self.wcb = True
+            on_done(cycle)
+
+        self.transceiver.send_store(addr, value, _complete)
+
+    def bulk_store(
+        self,
+        addr: int,
+        values: Tuple[int, int, int, int],
+        on_done: Callable[[int], None],
+        pid: Optional[int] = None,
+    ) -> None:
+        """Bulk store of four consecutive entries in one 15-cycle message."""
+        if len(values) != 4:
+            raise MemoryError_("bulk stores transfer exactly four 64-bit words")
+        self.wcb = False
+        self.stores_issued += 1
+
+        def _complete(message: WirelessMessage, cycle: int) -> None:
+            for offset, value in enumerate(values):
+                self.fabric.apply_store(addr + offset, value, self.node_id, cycle, pid)
+            self.wcb = True
+            on_done(cycle)
+
+        self.transceiver.send_bulk_store(addr, tuple(values), _complete)
+
+    # --------------------------------------------------------------- atomics
+    def rmw(
+        self,
+        addr: int,
+        kind: RmwKind,
+        on_done: Callable[[RmwResult], None],
+        operand: int = 1,
+        expected: int = 0,
+        pid: Optional[int] = None,
+    ) -> None:
+        """Atomic read-modify-write with AFB-based failure detection.
+
+        ``on_done`` receives an :class:`RmwResult`.  For a CAS whose
+        comparison fails, no wireless transfer is attempted (Figure 4b: the
+        code simply retries after re-reading), so the result arrives after
+        the local BM round trip.
+        """
+        self.rmws_issued += 1
+        self.wcb = False
+        self.afb = False
+        old = self.fabric.memory.read(addr, pid)
+        new, success = apply_rmw(kind, old, operand, expected)
+        if not success:
+            # CAS comparison failed: the instruction completes locally.
+            completion = self.fabric.sim.now + self.config.round_trip
+            self.wcb = True
+            self.fabric.sim.schedule(
+                self.config.round_trip,
+                on_done,
+                RmwResult(old_value=old, success=False, afb=False, completion_cycle=completion),
+            )
+            return
+        state = {"settled": False, "ticket": None}
+
+        def _finish(failed: bool, cycle: int) -> None:
+            if state["settled"]:
+                return
+            state["settled"] = True
+            self.afb = failed
+            self.wcb = True
+            if failed:
+                self.rmw_failures += 1
+            else:
+                self.fabric.apply_store(addr, new, self.node_id, cycle, pid)
+            on_done(
+                RmwResult(
+                    old_value=old,
+                    success=not failed,
+                    afb=failed,
+                    completion_cycle=cycle,
+                )
+            )
+
+        def _on_atomicity_failure() -> None:
+            # A remote write to this address arrived before our broadcast
+            # succeeded.  Abort the pending transmission if it has not
+            # started; the instruction then terminates with AFB set without
+            # ever occupying the Data channel (Section 4.2.1).
+            ticket = state["ticket"]
+            if ticket is not None and ticket.cancel():
+                self.fabric.consume_pending_rmw(token)
+                cycle = self.fabric.sim.now + self.config.round_trip
+                self.fabric.sim.schedule(self.config.round_trip, _finish, True, cycle)
+
+        def _complete(message: WirelessMessage, cycle: int) -> None:
+            if state["settled"]:
+                return
+            failed = self.fabric.consume_pending_rmw(token)
+            _finish(failed, cycle)
+
+        token = self.fabric.register_pending_rmw(self.node_id, addr, _on_atomicity_failure)
+        state["ticket"] = self.transceiver.send_store(addr, new, _complete)

@@ -1,0 +1,123 @@
+"""The Broadcast Memory (BM).
+
+Every node has a small (default 16 KB) memory holding the program variables
+declared ``broadcast``.  All BMs hold the exact same, replicated contents and
+are kept consistent by the wireless Data channel, which provides a chip-wide
+total order of writes (Section 3.1).  Because the contents are identical on
+every node at all times, this class models the *replicated contents once*;
+per-node state that genuinely differs between nodes (Armed/Arrived bits,
+WCB/AFB) lives in the per-node controllers.
+
+Each 64-bit entry is tagged with the PID of the process that allocated it,
+and every access checks the tag (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.config import BroadcastMemoryConfig
+from repro.errors import MemoryError_, ProtectionError
+
+
+@dataclass
+class BmEntry:
+    """One 64-bit BM entry with its protection tag."""
+
+    value: int = 0
+    pid: Optional[int] = None
+    allocated: bool = False
+    tone_capable: bool = False
+
+
+class BroadcastMemory:
+    """Replicated broadcast-memory contents plus per-entry PID tags."""
+
+    def __init__(self, config: BroadcastMemoryConfig) -> None:
+        self.config = config
+        self._entries: Dict[int, BmEntry] = {}
+
+    # ------------------------------------------------------------ structure
+    @property
+    def num_entries(self) -> int:
+        return self.config.num_entries
+
+    def entry(self, addr: int) -> BmEntry:
+        self._check_addr(addr)
+        if addr not in self._entries:
+            self._entries[addr] = BmEntry()
+        return self._entries[addr]
+
+    def allocated_entries(self) -> Iterator[int]:
+        return iter(sorted(addr for addr, e in self._entries.items() if e.allocated))
+
+    def allocated_count(self) -> int:
+        return sum(1 for e in self._entries.values() if e.allocated)
+
+    # ------------------------------------------------------------ allocation
+    def allocate_entry(self, addr: int, pid: int, tone_capable: bool = False) -> None:
+        """Tag an entry as owned by ``pid`` (performed in every BM at once)."""
+        entry = self.entry(addr)
+        if entry.allocated:
+            raise MemoryError_(f"BM entry {addr} is already allocated (pid={entry.pid})")
+        entry.allocated = True
+        entry.pid = pid
+        entry.tone_capable = tone_capable
+        entry.value = 0
+
+    def free_entry(self, addr: int, pid: int) -> None:
+        entry = self.entry(addr)
+        if not entry.allocated:
+            raise MemoryError_(f"BM entry {addr} is not allocated")
+        if entry.pid != pid:
+            raise ProtectionError(
+                f"process {pid} cannot free BM entry {addr} owned by process {entry.pid}"
+            )
+        self._entries[addr] = BmEntry()
+
+    # --------------------------------------------------------------- access
+    def read(self, addr: int, pid: Optional[int] = None) -> int:
+        """Protected read of an entry's 64-bit value."""
+        entry = self.entry(addr)
+        self._check_protection(addr, entry, pid)
+        return entry.value
+
+    def write(self, addr: int, value: int, pid: Optional[int] = None) -> None:
+        """Protected write (invoked when a broadcast completes)."""
+        entry = self.entry(addr)
+        self._check_protection(addr, entry, pid)
+        entry.value = value & ((1 << self.config.entry_bits) - 1)
+
+    def toggle(self, addr: int) -> int:
+        """Hardware toggle used by the tone controller at barrier completion.
+
+        The location can only take the values zero and non-zero
+        (Section 4.2.2); toggling maps 0 -> 1 and non-zero -> 0.
+        """
+        entry = self.entry(addr)
+        entry.value = 0 if entry.value else 1
+        return entry.value
+
+    def is_tone_capable(self, addr: int) -> bool:
+        return self.entry(addr).tone_capable
+
+    def owner_pid(self, addr: int) -> Optional[int]:
+        return self.entry(addr).pid
+
+    # ------------------------------------------------------------- internals
+    def _check_addr(self, addr: int) -> None:
+        if not 0 <= addr < self.config.num_entries:
+            raise MemoryError_(
+                f"BM address {addr} out of range (BM has {self.config.num_entries} entries)"
+            )
+
+    def _check_protection(self, addr: int, entry: BmEntry, pid: Optional[int]) -> None:
+        if pid is None:
+            return
+        if not entry.allocated:
+            raise ProtectionError(f"process {pid} accessed unallocated BM entry {addr}")
+        if entry.pid != pid:
+            raise ProtectionError(
+                f"PID mismatch on BM entry {addr}: tag={entry.pid}, accessor={pid}"
+            )

@@ -1,0 +1,268 @@
+"""The broadcast fabric: everything the wireless network keeps consistent.
+
+``BroadcastFabric`` owns the replicated Broadcast Memory, the BM allocator,
+the Data and Tone channels, and the per-node hardware bundles.  It is the
+single point through which BM values change, which is what gives broadcast
+writes their chip-wide total order (Section 3.1, Figure 1) and what lets the
+fabric implement the Atomicity Failure Bit and the tone-barrier protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.config import MachineConfig
+from repro.core.allocator import BmAllocation, BmAllocator
+from repro.core.bm_controller import BmController
+from repro.core.broadcast_memory import BroadcastMemory
+from repro.core.node import WiSyncNode
+from repro.core.tone_controller import ToneController
+from repro.core.translation import BmTlb
+from repro.errors import WirelessError
+from repro.sim.engine import Simulator
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import Tracer
+from repro.wireless.backoff import make_backoff
+from repro.wireless.channel import DataChannel, WirelessMessage
+from repro.wireless.tone import ToneChannel
+from repro.wireless.transceiver import Transceiver
+
+
+@dataclass
+class _Waiter:
+    predicate: Callable[[int], bool]
+    callback: Callable[[int], None]
+
+
+@dataclass
+class _PendingRmw:
+    node: int
+    addr: int
+    failed: bool = False
+    on_fail: Optional[Callable[[], None]] = None
+
+
+class BroadcastFabric:
+    """Chip-wide wireless synchronization fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        stats: Optional[StatsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        rng: Optional[DeterministicRng] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.rng = rng if rng is not None else DeterministicRng(config.seed, "fabric")
+        self.memory = BroadcastMemory(config.bm)
+        self.allocator = BmAllocator(config.bm)
+        self.tlb = BmTlb(config.bm)
+        self.data_channel = DataChannel(sim, config.data_channel, self.stats, self.tracer)
+        self.tone_channel: Optional[ToneChannel] = None
+        if config.tone_channel.enabled:
+            self.tone_channel = ToneChannel(sim, config.tone_channel, self.stats, self.tracer)
+            self.tone_channel.add_completion_listener(self._on_tone_complete)
+        self.data_channel.add_listener(self._on_message_delivered)
+        self.nodes: List[WiSyncNode] = []
+        self._waiters: Dict[int, List[_Waiter]] = {}
+        self._pending_rmw: Dict[int, _PendingRmw] = {}
+        self._pending_by_addr: Dict[int, Set[int]] = {}
+        self._next_token = 0
+        self.total_writes = 0
+
+    # -------------------------------------------------------------- assembly
+    def create_node(self, node_id: int) -> WiSyncNode:
+        """Instantiate the WiSync hardware bundle for one core."""
+        backoff = make_backoff(self.config.backoff, self.rng.child(f"mac{node_id}"))
+        transceiver = Transceiver(
+            node_id=node_id,
+            channel=self.data_channel,
+            backoff=backoff,
+            config=self.config.data_channel,
+            stats=self.stats,
+        )
+        bm_controller = BmController(node_id, self, transceiver, self.config.bm)
+        tone_controller = ToneController(
+            node_id, self.tone_channel, transceiver, self.config.tone_channel
+        )
+        node = WiSyncNode(
+            node_id=node_id,
+            transceiver=transceiver,
+            bm_controller=bm_controller,
+            tone_controller=tone_controller,
+        )
+        self.nodes.append(node)
+        return node
+
+    def node(self, node_id: int) -> WiSyncNode:
+        return self.nodes[node_id]
+
+    # ------------------------------------------------------------ allocation
+    def allocate(
+        self,
+        pid: int,
+        words: int = 1,
+        tone_capable: bool = False,
+        participants: Optional[Sequence[int]] = None,
+    ) -> BmAllocation:
+        """Allocate BM entries in every BM and, if requested, a tone barrier.
+
+        Tone-capable allocations create an AllocB entry in every node's tone
+        controller; the entry is armed on the nodes listed in
+        ``participants`` (Section 4.4: the runtime must know the
+        participants of a tone barrier in advance).
+        """
+        allocation = self.allocator.allocate(pid, words)
+        if allocation.spilled:
+            self.stats.counter("bm/spilled_allocations").add()
+            return allocation
+        for addr in allocation.addresses:
+            self.memory.allocate_entry(addr, pid, tone_capable and addr == allocation.base_addr)
+        if tone_capable:
+            if self.tone_channel is None:
+                raise WirelessError("tone barrier allocation requires the tone channel")
+            armed_set = set(participants) if participants is not None else set(range(len(self.nodes)))
+            for node in self.nodes:
+                node.tone_controller.allocate_barrier(
+                    allocation.base_addr, armed=node.node_id in armed_set
+                )
+        self.stats.counter("bm/allocations").add()
+        return allocation
+
+    def free(self, pid: int, base_addr: int, words: int = 1) -> None:
+        if self.allocator.is_spilled(base_addr):
+            self.allocator.free(pid, base_addr, words)
+            return
+        tone_capable = self.memory.is_tone_capable(base_addr)
+        for addr in range(base_addr, base_addr + words):
+            self.memory.free_entry(addr, pid)
+        if tone_capable:
+            for node in self.nodes:
+                node.tone_controller.deallocate_barrier(base_addr)
+        self.allocator.free(pid, base_addr, words)
+
+    def is_spilled(self, addr: int) -> bool:
+        return self.allocator.is_spilled(addr)
+
+    # ----------------------------------------------------------- value plane
+    def apply_store(
+        self,
+        addr: int,
+        value: int,
+        sender: int,
+        cycle: int,
+        pid: Optional[int] = None,
+    ) -> None:
+        """A broadcast write performed: update the replicated BM contents.
+
+        Every other node's pending RMW on this address loses atomicity
+        (AFB), and local spinners observe the new value one BM round trip
+        after delivery.
+        """
+        self.memory.write(addr, value, pid)
+        self.total_writes += 1
+        self.stats.counter("bm/writes_applied").add()
+        self._fail_pending(addr, sender)
+        self._wake_waiters(addr, value, cycle)
+
+    def register_pending_rmw(
+        self, node: int, addr: int, on_fail: Optional[Callable[[], None]] = None
+    ) -> int:
+        token = self._next_token
+        self._next_token += 1
+        self._pending_rmw[token] = _PendingRmw(node=node, addr=addr, on_fail=on_fail)
+        self._pending_by_addr.setdefault(addr, set()).add(token)
+        return token
+
+    def consume_pending_rmw(self, token: int) -> bool:
+        pending = self._pending_rmw.pop(token, None)
+        if pending is None:
+            raise WirelessError(f"unknown pending RMW token {token}")
+        tokens = self._pending_by_addr.get(pending.addr)
+        if tokens is not None:
+            tokens.discard(token)
+            if not tokens:
+                del self._pending_by_addr[pending.addr]
+        return pending.failed
+
+    def _fail_pending(self, addr: int, sender: int) -> None:
+        for token in list(self._pending_by_addr.get(addr, set())):
+            pending = self._pending_rmw.get(token)
+            if pending is None or pending.node == sender:
+                continue
+            newly_failed = not pending.failed
+            pending.failed = True
+            if newly_failed and pending.on_fail is not None:
+                # Let the issuing node's BM controller abort the now-doomed
+                # broadcast (it may already be on the air, in which case the
+                # abort is a no-op and the normal completion path reports AFB).
+                pending.on_fail()
+
+    # -------------------------------------------------------------- spinning
+    def wait_until(
+        self,
+        addr: int,
+        predicate: Callable[[int], bool],
+        callback: Callable[[int], None],
+    ) -> None:
+        """Invoke ``callback(value)`` when the BM location satisfies ``predicate``.
+
+        BM spinning is local (each node polls its own replica), so a waiter
+        wakes one BM round trip after the broadcast write that satisfied it —
+        no coherence traffic and no serialization among waiters.
+        """
+        value = self.memory.entry(addr).value
+        if predicate(value):
+            self.sim.schedule(self.config.bm.round_trip, callback, value)
+            return
+        self._waiters.setdefault(addr, []).append(_Waiter(predicate=predicate, callback=callback))
+
+    def waiter_count(self, addr: int) -> int:
+        return len(self._waiters.get(addr, []))
+
+    def _wake_waiters(self, addr: int, value: int, cycle: int) -> None:
+        waiters = self._waiters.get(addr)
+        if not waiters:
+            return
+        woken = [w for w in waiters if w.predicate(value)]
+        remaining = [w for w in waiters if not w.predicate(value)]
+        if remaining:
+            self._waiters[addr] = remaining
+        else:
+            self._waiters.pop(addr, None)
+        for waiter in woken:
+            delay = max(0, cycle - self.sim.now) + self.config.bm.round_trip
+            self.sim.schedule(delay, waiter.callback, value)
+
+    # --------------------------------------------------------- tone barriers
+    def _on_message_delivered(self, message: WirelessMessage, cycle: int) -> None:
+        if not message.tone_bit:
+            return
+        self._activate_tone_barrier(message.bm_addr, message.sender, cycle)
+
+    def _activate_tone_barrier(self, addr: int, sender: int, cycle: int) -> None:
+        if self.tone_channel is None:
+            return
+        if self.tone_channel.is_active(addr):
+            # A redundant activation from a racing near-simultaneous first
+            # arrival; the barrier is already under way.
+            return
+        emitters: Set[int] = set()
+        for node in self.nodes:
+            if node.tone_controller.on_barrier_activated(addr):
+                emitters.add(node.node_id)
+        self.tone_channel.activate(addr, emitters)
+
+    def _on_tone_complete(self, addr: int, cycle: int) -> None:
+        """All participants arrived: toggle the location in every BM."""
+        value = self.memory.toggle(addr)
+        for node in self.nodes:
+            node.tone_controller.on_barrier_complete(addr)
+        self.stats.counter("bm/tone_toggles").add()
+        self._wake_waiters(addr, value, cycle)

@@ -1,0 +1,12 @@
+"""Core and thread timing abstractions.
+
+The paper models out-of-order 2-issue x86 cores at 1 GHz; synchronization
+results are dominated by memory-system and wireless latencies, so the core
+model here is timing-abstract: a thread issues operations, the core accounts
+for its busy/stalled cycles, and compute phases advance time directly.
+"""
+
+from repro.cpu.core import Core
+from repro.cpu.thread import SimThread, ThreadContext, ThreadState
+
+__all__ = ["Core", "SimThread", "ThreadContext", "ThreadState"]

@@ -1,0 +1,85 @@
+"""Simulated software threads.
+
+A thread's body is a Python generator: every ``yield`` hands an operation
+from :mod:`repro.isa.operations` to the machine, and the result of the
+operation comes back as the value of the ``yield`` expression.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.rng import DeterministicRng
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle of a simulated thread."""
+
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+
+
+@dataclass
+class ThreadContext:
+    """Read-only view handed to workload thread bodies.
+
+    Thread bodies receive this object as their only argument; it tells them
+    who they are and gives them a private deterministic random stream for
+    think-time jitter.
+    """
+
+    thread_id: int
+    core_id: int
+    num_threads: int
+    pid: int
+    rng: DeterministicRng
+
+
+class SimThread:
+    """One simulated thread bound to a core."""
+
+    def __init__(
+        self,
+        thread_id: int,
+        core_id: int,
+        pid: int,
+        body: Callable[[ThreadContext], Generator],
+        context: ThreadContext,
+    ) -> None:
+        self.thread_id = thread_id
+        self.core_id = core_id
+        self.pid = pid
+        self.body = body
+        self.context = context
+        self.generator: Optional[Generator] = None
+        self.state = ThreadState.READY
+        self.start_cycle: Optional[int] = None
+        self.finish_cycle: Optional[int] = None
+        self.operations_issued = 0
+        self.result: Any = None
+
+    def start(self) -> Generator:
+        """Instantiate the generator (called by the machine when scheduling)."""
+        self.generator = self.body(self.context)
+        self.state = ThreadState.RUNNING
+        return self.generator
+
+    @property
+    def finished(self) -> bool:
+        return self.state is ThreadState.FINISHED
+
+    @property
+    def elapsed_cycles(self) -> Optional[int]:
+        if self.start_cycle is None or self.finish_cycle is None:
+            return None
+        return self.finish_cycle - self.start_cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimThread(tid={self.thread_id}, core={self.core_id}, "
+            f"pid={self.pid}, state={self.state.value})"
+        )

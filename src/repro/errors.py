@@ -1,0 +1,56 @@
+"""Exception hierarchy for the WiSync reproduction library.
+
+All errors raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch library-specific failures without masking programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of supported range."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was used incorrectly or reached a bad state."""
+
+
+class DeadlockError(SimulationError):
+    """The simulator ran out of events while threads were still blocked."""
+
+
+class MemoryError_(ReproError):
+    """A modelled memory subsystem was used incorrectly.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class ProtectionError(MemoryError_):
+    """A broadcast-memory access violated PID-based protection."""
+
+
+class AllocationError(MemoryError_):
+    """A broadcast-memory or page allocation could not be satisfied."""
+
+
+class TranslationError(MemoryError_):
+    """A virtual address had no valid translation for the accessing process."""
+
+
+class WirelessError(ReproError):
+    """The wireless substrate was used incorrectly."""
+
+
+class ToneBarrierError(ReproError):
+    """A tone barrier was allocated or used incorrectly (see paper Sec. 5.2)."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is invalid or issued an unsupported operation."""

@@ -1,0 +1,46 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.config import MachineConfig
+from repro.machine.configs import baseline, baseline_plus, wisync, wisync_not
+from repro.machine.manycore import Manycore
+from repro.machine.results import SimResult
+
+#: The Table 2 configurations in the paper's presentation order.
+CONFIG_BUILDERS: Dict[str, Callable[..., MachineConfig]] = {
+    "Baseline": baseline,
+    "Baseline+": baseline_plus,
+    "WiSyncNoT": wisync_not,
+    "WiSync": wisync,
+}
+
+
+def config_names(include_baseline: bool = True) -> List[str]:
+    names = list(CONFIG_BUILDERS)
+    if not include_baseline:
+        names.remove("Baseline")
+    return names
+
+
+def build_machine(config_label: str, num_cores: int, seed: int = 2016) -> Manycore:
+    """Build a fresh machine for one Table 2 configuration."""
+    config = CONFIG_BUILDERS[config_label](num_cores=num_cores, seed=seed)
+    return Manycore(config)
+
+
+def run_workload_on_configs(
+    builder: Callable[[Manycore], object],
+    num_cores: int,
+    configs: Optional[List[str]] = None,
+    seed: int = 2016,
+) -> Dict[str, SimResult]:
+    """Run one workload builder on each requested configuration."""
+    results: Dict[str, SimResult] = {}
+    for label in configs if configs is not None else list(CONFIG_BUILDERS):
+        machine = build_machine(label, num_cores, seed)
+        handle = builder(machine)
+        results[label] = handle.run()
+    return results

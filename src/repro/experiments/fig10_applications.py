@@ -1,0 +1,71 @@
+"""Figure 10: speedup over Baseline for PARSEC and SPLASH-2, 64 cores.
+
+Runs every application proxy on Baseline, Baseline+, WiSyncNoT, and WiSync
+and reports the per-application speedups over Baseline plus the arithmetic
+and geometric means, like the two rightmost bar groups of Figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import arithmetic_mean_speedup, geometric_mean_speedup
+from repro.analysis.tables import format_table
+from repro.experiments.common import CONFIG_BUILDERS, run_workload_on_configs
+from repro.machine.results import SimResult
+from repro.workloads.synthetic_apps import application_names, build_application, profile_by_name
+
+
+def run_fig10(
+    apps: Optional[List[str]] = None,
+    num_cores: int = 64,
+    phase_scale: float = 1.0,
+    configs: Optional[List[str]] = None,
+    keep_results: bool = False,
+) -> Dict[str, Dict[str, float]]:
+    """Speedups over Baseline, keyed by application then configuration.
+
+    Two synthetic rows, ``mean`` and ``geoMean``, aggregate over the selected
+    applications.  With ``keep_results`` the raw :class:`SimResult` objects
+    are attached under the ``_results`` key of each application entry (used
+    by the Table 5 utilization experiment to avoid re-running everything).
+    """
+    apps = apps if apps is not None else application_names()
+    configs = configs if configs is not None else list(CONFIG_BUILDERS)
+    if "Baseline" not in configs:
+        configs = ["Baseline"] + configs
+    table: Dict[str, Dict[str, float]] = {}
+    raw: Dict[str, Dict[str, SimResult]] = {}
+    for app in apps:
+        profile = profile_by_name(app)
+        results = run_workload_on_configs(
+            lambda machine, _p=profile: build_application(machine, _p, phase_scale=phase_scale),
+            num_cores=num_cores,
+            configs=configs,
+        )
+        base_cycles = results["Baseline"].total_cycles
+        table[app] = {
+            label: base_cycles / result.total_cycles for label, result in results.items()
+        }
+        raw[app] = results
+    non_baseline = [label for label in configs if label != "Baseline"]
+    table["mean"] = {
+        label: arithmetic_mean_speedup(table[app][label] for app in apps) for label in non_baseline
+    }
+    table["geoMean"] = {
+        label: geometric_mean_speedup(table[app][label] for app in apps) for label in non_baseline
+    }
+    if keep_results:
+        table["_results"] = raw  # type: ignore[assignment]
+    return table
+
+
+def format_fig10(table: Dict[str, Dict[str, float]]) -> str:
+    rows_source = {name: cols for name, cols in table.items() if not name.startswith("_")}
+    labels = [label for label in CONFIG_BUILDERS
+              if any(label in cols for cols in rows_source.values()) and label != "Baseline"]
+    headers = ["application"] + labels
+    rows = []
+    for name, cols in rows_source.items():
+        rows.append([name] + [cols.get(label, float("nan")) for label in labels])
+    return format_table(headers, rows, title="Figure 10: speedup over Baseline (64 cores)")

@@ -1,0 +1,66 @@
+"""Figure 11 / Table 6: sensitivity to memory and network latencies.
+
+Runs the application proxies on the five Table 6 variants (Default, SlowNet,
+SlowNet+L2, FastNet, SlowBMEM) and reports the geometric-mean speedup of
+Baseline+, WiSyncNoT, and WiSync over Baseline for each variant, at 64 cores.
+WiSync's advantage grows with a slower wired network and is essentially
+insensitive to the BM latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import CONFIG_BUILDERS
+from repro.machine.configs import sensitivity_variants
+from repro.machine.manycore import Manycore
+from repro.sim.stats import geometric_mean
+from repro.workloads.synthetic_apps import application_names, build_application, profile_by_name
+
+#: Representative application subset used by default to keep the sweep fast;
+#: pass ``apps=application_names()`` for the full Figure 11 input set.
+DEFAULT_SENSITIVITY_APPS = [
+    "streamcluster", "ocean-c", "raytrace", "radiosity", "water-ns",
+    "barnes", "blackscholes", "fft",
+]
+
+
+def run_fig11(
+    apps: Optional[List[str]] = None,
+    num_cores: int = 64,
+    phase_scale: float = 0.5,
+    variants: Optional[List[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Geometric-mean speedups over Baseline, keyed by variant then config."""
+    apps = apps if apps is not None else DEFAULT_SENSITIVITY_APPS
+    table: Dict[str, Dict[str, float]] = {}
+    all_variants = sensitivity_variants(CONFIG_BUILDERS["Baseline"](num_cores=num_cores))
+    names = variants if variants is not None else list(all_variants)
+    for variant in names:
+        speedups: Dict[str, List[float]] = {"Baseline+": [], "WiSyncNoT": [], "WiSync": []}
+        for app in apps:
+            profile = profile_by_name(app)
+            cycles: Dict[str, int] = {}
+            for label, builder in CONFIG_BUILDERS.items():
+                base_config = builder(num_cores=num_cores)
+                variant_config = sensitivity_variants(base_config)[variant]
+                machine = Manycore(variant_config)
+                handle = build_application(machine, profile, phase_scale=phase_scale)
+                cycles[label] = handle.run().total_cycles
+            for label in speedups:
+                speedups[label].append(cycles["Baseline"] / cycles[label])
+        table[variant] = {
+            label: geometric_mean(values) for label, values in speedups.items()
+        }
+    return table
+
+
+def format_fig11(table: Dict[str, Dict[str, float]]) -> str:
+    labels = ["Baseline+", "WiSyncNoT", "WiSync"]
+    headers = ["variant"] + labels
+    rows = [[variant] + [cols.get(label, float("nan")) for label in labels]
+            for variant, cols in table.items()]
+    return format_table(headers, rows,
+                        title="Figure 11: geometric-mean speedup over Baseline per Table 6 variant")

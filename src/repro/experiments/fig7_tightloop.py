@@ -1,0 +1,49 @@
+"""Figure 7: TightLoop execution time versus core count.
+
+The paper sweeps 16-256 cores and reports cycles per loop iteration for the
+four configurations on a logarithmic axis.  The Baseline curve grows by
+orders of magnitude with the core count while WiSync stays nearly flat
+thanks to the Tone channel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import CONFIG_BUILDERS, run_workload_on_configs
+from repro.workloads.tightloop import build_tightloop
+
+#: Core counts of the paper's sweep.  256-core Baseline simulations are slow
+#: in pure Python, so the default benchmark sweep stops at 128; pass the full
+#: list explicitly to regenerate the entire figure.
+DEFAULT_CORE_COUNTS = [16, 32, 64, 128]
+PAPER_CORE_COUNTS = [16, 32, 64, 128, 256]
+
+
+def run_fig7(
+    core_counts: Optional[List[int]] = None,
+    iterations: int = 5,
+    configs: Optional[List[str]] = None,
+) -> Dict[int, Dict[str, float]]:
+    """Cycles per TightLoop iteration, keyed by core count then configuration."""
+    core_counts = core_counts if core_counts is not None else DEFAULT_CORE_COUNTS
+    series: Dict[int, Dict[str, float]] = {}
+    for cores in core_counts:
+        results = run_workload_on_configs(
+            lambda machine: build_tightloop(machine, iterations=iterations),
+            num_cores=cores,
+            configs=configs,
+        )
+        series[cores] = {
+            label: result.total_cycles / iterations for label, result in results.items()
+        }
+    return series
+
+
+def format_fig7(series: Dict[int, Dict[str, float]]) -> str:
+    labels = [label for label in CONFIG_BUILDERS if any(label in row for row in series.values())]
+    headers = ["cores"] + labels
+    rows = [[cores] + [series[cores].get(label, float("nan")) for label in labels]
+            for cores in sorted(series)]
+    return format_table(headers, rows, title="Figure 7: TightLoop cycles/iteration")

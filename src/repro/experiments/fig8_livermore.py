@@ -1,0 +1,67 @@
+"""Figure 8: Livermore loops 2, 3 and 6 versus vector length.
+
+Six panels in the paper: loops 2/3/6 at 64 cores (top) and 128 cores
+(bottom), execution time versus vector length.  The gains of the WiSync
+configurations are largest at small vector lengths, where barrier overhead
+dominates, and shrink as the computation grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import CONFIG_BUILDERS, run_workload_on_configs
+from repro.workloads.livermore import LivermoreLoop, build_livermore_loop
+
+#: Vector lengths used by default (a subsample of the paper's sweep).
+DEFAULT_VECTOR_LENGTHS = {
+    LivermoreLoop.ICCG: [16, 256, 4096],
+    LivermoreLoop.INNER_PRODUCT: [16, 256, 4096],
+    LivermoreLoop.LINEAR_RECURRENCE: [16, 128, 1024],
+}
+PAPER_VECTOR_LENGTHS = {
+    LivermoreLoop.ICCG: [16, 64, 256, 1024, 4096, 16384],
+    LivermoreLoop.INNER_PRODUCT: [16, 64, 256, 1024, 4096, 16384],
+    LivermoreLoop.LINEAR_RECURRENCE: [16, 32, 64, 128, 256, 512, 1024, 2048],
+}
+
+
+def run_fig8(
+    loops: Optional[List[LivermoreLoop]] = None,
+    core_counts: Optional[List[int]] = None,
+    vector_lengths: Optional[Dict[LivermoreLoop, List[int]]] = None,
+    repetitions: int = 2,
+    configs: Optional[List[str]] = None,
+) -> Dict[Tuple[int, int, int], Dict[str, float]]:
+    """Execution time keyed by ``(loop, cores, vector_length)`` then config."""
+    loops = loops if loops is not None else list(LivermoreLoop)
+    core_counts = core_counts if core_counts is not None else [64]
+    vector_lengths = vector_lengths if vector_lengths is not None else DEFAULT_VECTOR_LENGTHS
+    series: Dict[Tuple[int, int, int], Dict[str, float]] = {}
+    for loop in loops:
+        for cores in core_counts:
+            for length in vector_lengths[loop]:
+                results = run_workload_on_configs(
+                    lambda machine, _loop=loop, _len=length: build_livermore_loop(
+                        machine, _loop, _len, repetitions=repetitions
+                    ),
+                    num_cores=cores,
+                    configs=configs,
+                )
+                series[(int(loop), cores, length)] = {
+                    label: float(result.total_cycles) for label, result in results.items()
+                }
+    return series
+
+
+def format_fig8(series: Dict[Tuple[int, int, int], Dict[str, float]]) -> str:
+    labels = [label for label in CONFIG_BUILDERS
+              if any(label in row for row in series.values())]
+    headers = ["loop", "cores", "vector_len"] + labels
+    rows = []
+    for (loop, cores, length) in sorted(series):
+        row = [loop, cores, length]
+        row.extend(series[(loop, cores, length)].get(label, float("nan")) for label in labels)
+        rows.append(row)
+    return format_table(headers, rows, title="Figure 8: Livermore loop execution time (cycles)")

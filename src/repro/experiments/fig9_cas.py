@@ -1,0 +1,69 @@
+"""Figure 9: CAS throughput of the FIFO, LIFO and ADD kernels.
+
+The paper plots successful CAS operations per 1000 cycles against the number
+of instructions executed between consecutive CAS operations ("critical
+section size"), for 64 and 128 cores, comparing WiSync (CAS on the BM) with
+Baseline (CAS through the cache hierarchy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import throughput_per_kcycle
+from repro.analysis.tables import format_table
+from repro.experiments.common import run_workload_on_configs
+from repro.workloads.cas_kernels import CasKernelKind, build_cas_kernel
+
+#: The paper only compares these two configurations for the CAS kernels,
+#: because the kernels are lock-free and independent of the barrier/lock
+#: implementation (Section 7.3).
+CAS_CONFIGS = ["Baseline", "WiSync"]
+
+DEFAULT_CRITICAL_SECTIONS = [4096, 256, 16]
+PAPER_CRITICAL_SECTIONS = [65536, 16384, 4096, 1024, 256, 64, 16, 4]
+
+
+def run_fig9(
+    kinds: Optional[List[CasKernelKind]] = None,
+    core_counts: Optional[List[int]] = None,
+    critical_sections: Optional[List[int]] = None,
+    successes_per_thread: int = 6,
+    configs: Optional[List[str]] = None,
+) -> Dict[Tuple[str, int, int], Dict[str, float]]:
+    """Throughput (CAS/1000 cycles) keyed by ``(kernel, cores, crit)`` then config."""
+    kinds = kinds if kinds is not None else list(CasKernelKind)
+    core_counts = core_counts if core_counts is not None else [64]
+    critical_sections = (
+        critical_sections if critical_sections is not None else DEFAULT_CRITICAL_SECTIONS
+    )
+    configs = configs if configs is not None else CAS_CONFIGS
+    series: Dict[Tuple[str, int, int], Dict[str, float]] = {}
+    for kind in kinds:
+        for cores in core_counts:
+            for crit in critical_sections:
+                results = run_workload_on_configs(
+                    lambda machine, _k=kind, _c=crit: build_cas_kernel(
+                        machine, _k, _c, successes_per_thread=successes_per_thread
+                    ),
+                    num_cores=cores,
+                    configs=configs,
+                )
+                point: Dict[str, float] = {}
+                for label, result in results.items():
+                    total = successes_per_thread * cores
+                    point[label] = throughput_per_kcycle(total, result.total_cycles)
+                series[(kind.value, cores, crit)] = point
+    return series
+
+
+def format_fig9(series: Dict[Tuple[str, int, int], Dict[str, float]]) -> str:
+    labels = sorted({label for row in series.values() for label in row})
+    headers = ["kernel", "cores", "crit_section"] + labels
+    rows = []
+    for key in sorted(series):
+        kernel, cores, crit = key
+        row = [kernel, cores, crit]
+        row.extend(series[key].get(label, float("nan")) for label in labels)
+        rows.append(row)
+    return format_table(headers, rows, title="Figure 9: CAS throughput per 1000 cycles")

@@ -1,0 +1,34 @@
+"""Table 4: area and power of the transceiver plus two antennas.
+
+Pure analytical model (no simulation): the Section 2 RF scaling projections
+compared against the Xeon Haswell and Atom Silvermont cores at 22 nm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.area_power import area_power_table
+from repro.analysis.tables import format_table
+
+
+def run_table4(technology_nm: int = 22) -> Dict[str, Dict[str, float]]:
+    """Regenerate Table 4's numbers at the requested technology node."""
+    return area_power_table(technology_nm)
+
+
+def format_table4(table: Dict[str, Dict[str, float]]) -> str:
+    rf = table["transceiver+2antennas"]
+    headers = ["item", "area_mm2", "power_w", "rf_area_%", "rf_power_%"]
+    rows = [["transceiver+2antennas", rf["area_mm2"], rf["power_w"], "-", "-"]]
+    for name, columns in table.items():
+        if name == "transceiver+2antennas":
+            continue
+        rows.append([
+            name,
+            columns["area_mm2"],
+            columns["power_w"],
+            columns["rf_area_percent"],
+            columns["rf_power_percent"],
+        ])
+    return format_table(headers, rows, title="Table 4: transceiver + 2 antennas vs 22nm cores")

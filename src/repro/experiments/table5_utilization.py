@@ -1,0 +1,57 @@
+"""Table 5: Data-channel utilization of WiSyncNoT and WiSync.
+
+The paper reports, for the most demanding applications and as a geometric
+mean over all applications, the percentage of total cycles in which the Data
+channel is busy, for WiSyncNoT (WT) and WiSync (W).  WiSync's utilization is
+lower because barrier traffic moves to the Tone channel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import utilization_percent
+from repro.analysis.tables import format_table
+from repro.experiments.common import run_workload_on_configs
+from repro.sim.stats import geometric_mean
+from repro.workloads.synthetic_apps import application_names, build_application, profile_by_name
+
+#: Applications the paper singles out in Table 5 (most demanding ones).
+TABLE5_APPS = ["streamcluster", "radiosity", "water-ns", "fluidanimate",
+               "raytrace", "ocean-c", "ocean-nc"]
+
+
+def run_table5(
+    apps: Optional[List[str]] = None,
+    num_cores: int = 64,
+    phase_scale: float = 1.0,
+    include_geomean_over: Optional[List[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Data-channel utilization (%) keyed by application then configuration."""
+    apps = apps if apps is not None else TABLE5_APPS
+    table: Dict[str, Dict[str, float]] = {}
+    for app in apps:
+        profile = profile_by_name(app)
+        results = run_workload_on_configs(
+            lambda machine, _p=profile: build_application(machine, _p, phase_scale=phase_scale),
+            num_cores=num_cores,
+            configs=["WiSyncNoT", "WiSync"],
+        )
+        table[app] = {
+            label: utilization_percent(result) for label, result in results.items()
+        }
+    geo_apps = include_geomean_over if include_geomean_over is not None else apps
+    geo_rows = [table[a] for a in geo_apps if a in table]
+    if geo_rows:
+        table["GM"] = {
+            label: geometric_mean([max(1e-6, row[label]) for row in geo_rows])
+            for label in ("WiSyncNoT", "WiSync")
+        }
+    return table
+
+
+def format_table5(table: Dict[str, Dict[str, float]]) -> str:
+    headers = ["application", "WiSyncNoT (%)", "WiSync (%)"]
+    rows = [[name, cols.get("WiSyncNoT", 0.0), cols.get("WiSync", 0.0)]
+            for name, cols in table.items()]
+    return format_table(headers, rows, title="Table 5: Data-channel utilization (% of cycles)")

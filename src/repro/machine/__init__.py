@@ -1,0 +1,33 @@
+"""Machine assembly: the full manycore and the paper's configurations.
+
+:class:`~repro.machine.manycore.Manycore` wires the simulation engine, the
+cached-memory hierarchy, the wired mesh, and (when enabled) the WiSync
+wireless fabric into one simulated chip, and drives workload threads over it.
+:mod:`repro.machine.configs` builds the four configurations of Table 2
+(Baseline, Baseline+, WiSyncNoT, WiSync) and the Table 6 sensitivity variants.
+"""
+
+from repro.machine.configs import (
+    baseline,
+    baseline_plus,
+    config_by_name,
+    paper_configurations,
+    sensitivity_variants,
+    wisync,
+    wisync_not,
+)
+from repro.machine.manycore import Manycore, Program
+from repro.machine.results import SimResult
+
+__all__ = [
+    "Manycore",
+    "Program",
+    "SimResult",
+    "baseline",
+    "baseline_plus",
+    "wisync",
+    "wisync_not",
+    "paper_configurations",
+    "sensitivity_variants",
+    "config_by_name",
+]

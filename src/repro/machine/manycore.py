@@ -1,0 +1,464 @@
+"""The simulated manycore: dispatches thread operations to the timing models.
+
+``Manycore`` owns one :class:`~repro.sim.engine.Simulator` and all subsystem
+models.  Workload threads are generators; every yielded operation from
+:mod:`repro.isa.operations` is executed here against the cached-memory
+hierarchy (regular variables) or the WiSync broadcast fabric (broadcast
+variables), and the thread resumes when the operation completes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.config import MachineConfig
+from repro.core.bm_controller import RmwResult
+from repro.core.fabric import BroadcastFabric
+from repro.cpu.core import Core
+from repro.cpu.thread import SimThread, ThreadContext, ThreadState
+from repro.errors import DeadlockError, WorkloadError
+from repro.isa import operations as ops
+from repro.machine.results import SimResult
+from repro.mem.hierarchy import MemorySystem
+from repro.noc.mesh import MeshNetwork
+from repro.noc.topology import MeshTopology
+from repro.osmodel.process import ProcessTable
+from repro.osmodel.scheduler import Scheduler
+from repro.sim.engine import Simulator
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import Tracer
+
+#: Base of the cached-memory arena used for workload shared variables.
+SHARED_MEMORY_BASE = 0x1000_0000
+#: Base of the cached-memory region backing spilled broadcast variables.
+SPILL_MEMORY_BASE = 0x2000_0000
+#: Base of the per-thread private memory regions.
+PRIVATE_MEMORY_BASE = 0x4000_0000
+#: Size of each thread's private region in bytes.
+PRIVATE_REGION_BYTES = 1 << 20
+
+
+class Program:
+    """One running program: a PID, its threads, and its memory allocations."""
+
+    def __init__(self, machine: "Manycore", pid: int, name: str) -> None:
+        self.machine = machine
+        self.pid = pid
+        self.name = name
+        self.threads: List[SimThread] = []
+        self._next_shared = SHARED_MEMORY_BASE + pid * (1 << 24)
+
+    # ------------------------------------------------------------ allocation
+    def alloc_shared(self, words: int = 1, align_line: bool = True) -> int:
+        """Allocate cached (regular) shared memory; returns a byte address.
+
+        Successive allocations are padded to distinct cache lines when
+        ``align_line`` is set so that independent variables do not falsely
+        share a line.
+        """
+        if words < 1:
+            raise WorkloadError("allocation must request at least one word")
+        line = self.machine.config.cache.line_bytes
+        addr = self._next_shared
+        size = words * 8
+        if align_line:
+            size = ((size + line - 1) // line) * line
+        self._next_shared += size
+        return addr
+
+    def alloc_broadcast(
+        self,
+        words: int = 1,
+        tone_capable: bool = False,
+        participants: Optional[List[int]] = None,
+    ) -> int:
+        """Allocate broadcast-memory entries; returns a BM entry address.
+
+        On machines without WiSync hardware this falls back to cached memory
+        but still returns an address usable with the ``Bm*`` operations (the
+        machine transparently routes them to the cache hierarchy), mirroring
+        the paper's spill-to-plain-memory mechanism.
+        """
+        fabric = self.machine.fabric
+        if fabric is None:
+            addr = self.machine._alloc_soft_bm(words)
+            return addr
+        allocation = fabric.allocate(self.pid, words, tone_capable, participants)
+        if tone_capable and participants:
+            # Threads already placed on participant cores are bound to the
+            # tone barrier, which restricts their migration (Section 5.2).
+            for core in participants:
+                for thread_id in self.machine.scheduler.threads_on(core):
+                    self.machine.scheduler.register_tone_barrier(thread_id, allocation.base_addr)
+        return allocation.base_addr
+
+    def private_addr(self, thread_id: int, offset_words: int = 0) -> int:
+        """A per-thread private cached address (thread-local pools, stacks)."""
+        return PRIVATE_MEMORY_BASE + thread_id * PRIVATE_REGION_BYTES + offset_words * 8
+
+    # --------------------------------------------------------------- threads
+    def add_thread(
+        self,
+        body: Callable[[ThreadContext], Generator],
+        core_id: Optional[int] = None,
+    ) -> SimThread:
+        """Register a thread; by default thread ``i`` runs on core ``i % N``."""
+        return self.machine._add_thread(self, body, core_id)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+
+class Manycore:
+    """A complete simulated chip plus the driver for workload threads."""
+
+    def __init__(self, config: MachineConfig, trace: bool = False) -> None:
+        self.config = config.validate()
+        self.sim = Simulator()
+        self.stats = StatsRegistry()
+        self.tracer = Tracer(enabled=trace)
+        self.rng = DeterministicRng(config.seed, "machine")
+        self.topology = MeshTopology.square_for(config.num_cores)
+        self.mesh = MeshNetwork(self.topology, config.noc, self.stats)
+        self.memory = MemorySystem(self.sim, config, self.mesh, self.stats, self.tracer)
+        self.cores = [Core(core_id, config.core) for core_id in range(config.num_cores)]
+        self.fabric: Optional[BroadcastFabric] = None
+        if config.wisync_enabled:
+            self.fabric = BroadcastFabric(
+                self.sim, config, self.stats, self.tracer, self.rng.child("fabric")
+            )
+            for core_id in range(config.num_cores):
+                self.fabric.create_node(core_id)
+        self.process_table = ProcessTable()
+        self.scheduler = Scheduler(config.num_cores)
+        self.threads: List[SimThread] = []
+        self.programs: List[Program] = []
+        self._finished = 0
+        self._soft_bm_next = 0
+        self._ran = False
+
+    # -------------------------------------------------------------- programs
+    def new_program(self, name: str = "program") -> Program:
+        process = self.process_table.spawn(name)
+        program = Program(self, process.pid, name)
+        self.programs.append(program)
+        return program
+
+    def _add_thread(
+        self,
+        program: Program,
+        body: Callable[[ThreadContext], Generator],
+        core_id: Optional[int],
+    ) -> SimThread:
+        thread_id = len(self.threads)
+        if core_id is None:
+            core_id = thread_id % self.config.num_cores
+        context = ThreadContext(
+            thread_id=thread_id,
+            core_id=core_id,
+            num_threads=0,  # patched in run(); programs may still add threads
+            pid=program.pid,
+            rng=self.rng.child(f"thread{thread_id}"),
+        )
+        thread = SimThread(thread_id, core_id, program.pid, body, context)
+        self.threads.append(thread)
+        program.threads.append(thread)
+        self.process_table.get(program.pid).add_thread(thread_id)
+        self.scheduler.place(thread_id, program.pid, core_id)
+        return thread
+
+    def _alloc_soft_bm(self, words: int) -> int:
+        """Allocate pseudo-BM addresses on machines without wireless hardware."""
+        addr = self._soft_bm_next
+        self._soft_bm_next += words
+        return addr
+
+    # ------------------------------------------------------------------ run
+    def run(self, max_cycles: Optional[int] = None, max_events: int = 50_000_000) -> SimResult:
+        """Run every registered thread to completion and collect results."""
+        if self._ran:
+            raise WorkloadError("this Manycore has already run; build a fresh one per experiment")
+        self._ran = True
+        if not self.threads:
+            raise WorkloadError("no threads registered; add threads through a Program first")
+        for thread in self.threads:
+            thread.context.num_threads = len(self.threads)
+        for thread in self.threads:
+            self.sim.schedule(0, self._start_thread, thread)
+        events = 0
+        while self._finished < len(self.threads):
+            progressed = self.sim.step()
+            if not progressed:
+                blocked = [t.thread_id for t in self.threads if not t.finished]
+                raise DeadlockError(
+                    f"simulation deadlocked at cycle {self.sim.now}; "
+                    f"blocked threads: {blocked[:16]}"
+                )
+            events += 1
+            if max_events is not None and events > max_events:
+                raise DeadlockError(f"simulation exceeded {max_events} events")
+            if max_cycles is not None and self.sim.now >= max_cycles:
+                break
+        return self._build_result()
+
+    # ------------------------------------------------------------ internals
+    def _start_thread(self, thread: SimThread) -> None:
+        thread.start_cycle = self.sim.now
+        if self.fabric is not None:
+            # Bind the thread to any tone barrier armed on its core so the
+            # scheduler can enforce the migration restriction of Section 5.2.
+            controller = self.fabric.node(thread.core_id).tone_controller
+            placement = self.scheduler.placement(thread.thread_id)
+            for addr, entry in controller.alloc_b.items():
+                if entry.armed and addr not in placement.tone_barriers:
+                    self.scheduler.register_tone_barrier(thread.thread_id, addr)
+        thread.start()
+        self._advance(thread, None)
+
+    def _advance(self, thread: SimThread, value: Any) -> None:
+        if thread.finished:
+            return
+        try:
+            operation = thread.generator.send(value)
+        except StopIteration as stop:
+            thread.state = ThreadState.FINISHED
+            thread.finish_cycle = self.sim.now
+            thread.result = stop.value
+            self._finished += 1
+            return
+        thread.operations_issued += 1
+        self._dispatch(thread, operation)
+
+    def _resume(self, thread: SimThread, delay: int, value: Any = None) -> None:
+        self.sim.schedule(max(0, delay), self._advance, thread, value)
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch(self, thread: SimThread, op: Any) -> None:
+        core = self.cores[thread.core_id]
+        now = self.sim.now
+        # ---------------------------------------------------------- compute
+        if isinstance(op, ops.Compute):
+            core.run_compute(op.cycles)
+            self._resume(thread, op.cycles)
+        elif isinstance(op, ops.Fence):
+            self._resume(thread, op.cycles)
+        # ----------------------------------------------------- cached memory
+        elif isinstance(op, ops.Read):
+            value, completion = self.memory.read(thread.core_id, op.addr, op.size)
+            core.add_memory_stall(completion - now)
+            self._resume(thread, completion - now, value)
+        elif isinstance(op, ops.Write):
+            completion = self.memory.write(thread.core_id, op.addr, op.value, op.size)
+            core.add_memory_stall(completion - now)
+            self._resume(thread, completion - now)
+        elif isinstance(op, ops.AtomicOp):
+            old, success, completion = self.memory.atomic(
+                thread.core_id, op.addr, op.kind, op.operand, op.expected
+            )
+            core.add_memory_stall(completion - now)
+            self._resume(thread, completion - now, (old, success))
+        elif isinstance(op, ops.WaitUntil):
+            self.memory.wait_until(
+                thread.core_id, op.addr, op.predicate,
+                lambda value, _t=thread: self._advance(_t, value),
+            )
+        # -------------------------------------------------- broadcast memory
+        elif isinstance(op, ops.BmAlloc):
+            self._handle_bm_alloc(thread, op)
+        elif isinstance(op, ops.BmFree):
+            self._handle_bm_free(thread, op)
+        elif isinstance(op, ops.BmLoad):
+            self._handle_bm_load(thread, op)
+        elif isinstance(op, ops.BmStore):
+            self._handle_bm_store(thread, op)
+        elif isinstance(op, ops.BmBulkLoad):
+            self._handle_bm_bulk_load(thread, op)
+        elif isinstance(op, ops.BmBulkStore):
+            self._handle_bm_bulk_store(thread, op)
+        elif isinstance(op, ops.BmRmw):
+            self._handle_bm_rmw(thread, op)
+        elif isinstance(op, ops.BmWaitUntil):
+            self._handle_bm_wait(thread, op)
+        # ------------------------------------------------------ tone channel
+        elif isinstance(op, ops.ToneBarrierAlloc):
+            self._handle_tone_alloc(thread, op)
+        elif isinstance(op, ops.ToneStore):
+            self._handle_tone_store(thread, op)
+        elif isinstance(op, ops.ToneLoad):
+            self._handle_tone_load(thread, op)
+        elif isinstance(op, ops.ToneWait):
+            self._handle_tone_wait(thread, op)
+        else:
+            raise WorkloadError(f"thread {thread.thread_id} yielded unsupported operation {op!r}")
+
+    # -------------------------------------------------- BM dispatch helpers
+    def _bm_is_soft(self, addr: int) -> bool:
+        """True when the BM address must be served by the cache hierarchy."""
+        if self.fabric is None:
+            return True
+        return self.fabric.is_spilled(addr)
+
+    def _soft_bm_cached_addr(self, addr: int) -> int:
+        return SPILL_MEMORY_BASE + addr * 8
+
+    def _handle_bm_alloc(self, thread: SimThread, op: ops.BmAlloc) -> None:
+        program_pid = thread.pid
+        if self.fabric is None:
+            addr = self._alloc_soft_bm(op.words)
+            self._resume(thread, self.config.bm.round_trip, addr)
+            return
+        allocation = self.fabric.allocate(
+            program_pid, op.words, op.tone_capable, op.participants
+        )
+        # The allocation instruction broadcasts one wireless message.
+        self._resume(thread, self.config.data_channel.message_cycles, allocation.base_addr)
+
+    def _handle_bm_free(self, thread: SimThread, op: ops.BmFree) -> None:
+        if self.fabric is not None:
+            self.fabric.free(thread.pid, op.addr, op.words)
+        self._resume(thread, self.config.data_channel.message_cycles)
+
+    def _handle_bm_load(self, thread: SimThread, op: ops.BmLoad) -> None:
+        if self._bm_is_soft(op.addr):
+            value, completion = self.memory.read(thread.core_id, self._soft_bm_cached_addr(op.addr))
+            self._resume(thread, completion - self.sim.now, value)
+            return
+        node = self.fabric.node(thread.core_id)
+        value, latency = node.bm_controller.load(op.addr)
+        self._resume(thread, latency, value)
+
+    def _handle_bm_store(self, thread: SimThread, op: ops.BmStore) -> None:
+        if self._bm_is_soft(op.addr):
+            completion = self.memory.write(
+                thread.core_id, self._soft_bm_cached_addr(op.addr), op.value
+            )
+            self._resume(thread, completion - self.sim.now)
+            return
+        node = self.fabric.node(thread.core_id)
+        node.bm_controller.store(
+            op.addr, op.value, lambda cycle, _t=thread: self._advance(_t, None)
+        )
+
+    def _handle_bm_bulk_load(self, thread: SimThread, op: ops.BmBulkLoad) -> None:
+        if self._bm_is_soft(op.addr):
+            values = []
+            completion = self.sim.now
+            for offset in range(4):
+                value, completion = self.memory.read(
+                    thread.core_id, self._soft_bm_cached_addr(op.addr + offset)
+                )
+                values.append(value)
+            self._resume(thread, completion - self.sim.now, tuple(values))
+            return
+        node = self.fabric.node(thread.core_id)
+        values, latency = node.bm_controller.bulk_load(op.addr)
+        self._resume(thread, latency, values)
+
+    def _handle_bm_bulk_store(self, thread: SimThread, op: ops.BmBulkStore) -> None:
+        values = tuple(op.values)
+        if len(values) != 4:
+            raise WorkloadError("bulk stores transfer exactly four words")
+        if self._bm_is_soft(op.addr):
+            completion = self.sim.now
+            for offset, value in enumerate(values):
+                completion = self.memory.write(
+                    thread.core_id, self._soft_bm_cached_addr(op.addr + offset), value
+                )
+            self._resume(thread, completion - self.sim.now)
+            return
+        node = self.fabric.node(thread.core_id)
+        node.bm_controller.bulk_store(
+            op.addr, values, lambda cycle, _t=thread: self._advance(_t, None)
+        )
+
+    def _handle_bm_rmw(self, thread: SimThread, op: ops.BmRmw) -> None:
+        if self._bm_is_soft(op.addr):
+            old, success, completion = self.memory.atomic(
+                thread.core_id,
+                self._soft_bm_cached_addr(op.addr),
+                op.kind,
+                op.operand,
+                op.expected,
+            )
+            result = RmwResult(
+                old_value=old, success=success, afb=False, completion_cycle=completion
+            )
+            self._resume(thread, completion - self.sim.now, result)
+            return
+        node = self.fabric.node(thread.core_id)
+        node.bm_controller.rmw(
+            op.addr,
+            op.kind,
+            lambda result, _t=thread: self._advance(_t, result),
+            operand=op.operand,
+            expected=op.expected,
+        )
+
+    def _handle_bm_wait(self, thread: SimThread, op: ops.BmWaitUntil) -> None:
+        if self._bm_is_soft(op.addr):
+            self.memory.wait_until(
+                thread.core_id,
+                self._soft_bm_cached_addr(op.addr),
+                op.predicate,
+                lambda value, _t=thread: self._advance(_t, value),
+            )
+            return
+        self.fabric.wait_until(
+            op.addr, op.predicate, lambda value, _t=thread: self._advance(_t, value)
+        )
+
+    # ------------------------------------------------- tone dispatch helpers
+    def _require_tone(self, thread: SimThread) -> None:
+        if self.fabric is None or self.fabric.tone_channel is None:
+            raise WorkloadError(
+                f"thread {thread.thread_id} used a tone operation on configuration "
+                f"{self.config.name!r}, which has no tone channel"
+            )
+
+    def _handle_tone_alloc(self, thread: SimThread, op: ops.ToneBarrierAlloc) -> None:
+        self._require_tone(thread)
+        allocation = self.fabric.allocate(
+            thread.pid, 1, tone_capable=True, participants=list(op.participants)
+        )
+        for participant_core in op.participants:
+            for tid in self.scheduler.threads_on(participant_core):
+                self.scheduler.register_tone_barrier(tid, allocation.base_addr)
+        self._resume(thread, self.config.data_channel.message_cycles, allocation.base_addr)
+
+    def _handle_tone_store(self, thread: SimThread, op: ops.ToneStore) -> None:
+        self._require_tone(thread)
+        node = self.fabric.node(thread.core_id)
+        node.tone_controller.arrive(op.addr)
+        self._resume(thread, self.config.bm.round_trip)
+
+    def _handle_tone_load(self, thread: SimThread, op: ops.ToneLoad) -> None:
+        self._require_tone(thread)
+        value = self.fabric.memory.entry(op.addr).value
+        self._resume(thread, self.config.bm.round_trip, value)
+
+    def _handle_tone_wait(self, thread: SimThread, op: ops.ToneWait) -> None:
+        self._require_tone(thread)
+        self.fabric.wait_until(
+            op.addr,
+            lambda value, sense=op.local_sense: value == sense,
+            lambda value, _t=thread: self._advance(_t, value),
+        )
+
+    # --------------------------------------------------------------- results
+    def _build_result(self) -> SimResult:
+        thread_cycles = [
+            (t.finish_cycle - t.start_cycle) if t.elapsed_cycles is not None else self.sim.now
+            for t in self.threads
+        ]
+        return SimResult(
+            config_name=self.config.name,
+            num_cores=self.config.num_cores,
+            total_cycles=self.sim.now,
+            thread_cycles=thread_cycles,
+            thread_results=[t.result for t in self.threads],
+            stats=self.stats,
+            finished_threads=self._finished,
+            total_threads=len(self.threads),
+        )

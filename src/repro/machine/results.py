@@ -1,0 +1,81 @@
+"""Results of one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class SimResult:
+    """Summary of a completed (or truncated) simulation."""
+
+    config_name: str
+    num_cores: int
+    total_cycles: int
+    thread_cycles: List[int]
+    thread_results: List[Any]
+    stats: StatsRegistry
+    finished_threads: int
+    total_threads: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ durations
+    @property
+    def completed(self) -> bool:
+        return self.finished_threads == self.total_threads
+
+    @property
+    def max_thread_cycles(self) -> int:
+        return max(self.thread_cycles) if self.thread_cycles else 0
+
+    @property
+    def mean_thread_cycles(self) -> float:
+        if not self.thread_cycles:
+            return 0.0
+        return sum(self.thread_cycles) / len(self.thread_cycles)
+
+    # ----------------------------------------------------------- wireless
+    @property
+    def wireless_messages(self) -> int:
+        return self.stats.counter_value("wireless/messages")
+
+    @property
+    def wireless_collisions(self) -> int:
+        return self.stats.counter_value("wireless/collisions")
+
+    @property
+    def data_channel_busy_cycles(self) -> int:
+        tracker = self.stats.utilizations.get("wireless/data_channel")
+        return tracker.busy_cycles if tracker is not None else 0
+
+    def data_channel_utilization(self) -> float:
+        """Fraction of total cycles the Data channel was busy (Table 5)."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.data_channel_busy_cycles / self.total_cycles)
+
+    def mean_transfer_latency(self) -> float:
+        """Average Data-channel transfer latency in cycles (Section 7.4)."""
+        histogram = self.stats.histograms.get("wireless/transfer_latency")
+        return histogram.mean if histogram is not None else 0.0
+
+    # ------------------------------------------------------------ reporting
+    def summary(self) -> Dict[str, float]:
+        return {
+            "config": self.config_name,
+            "cores": self.num_cores,
+            "cycles": self.total_cycles,
+            "wireless_messages": self.wireless_messages,
+            "wireless_collisions": self.wireless_collisions,
+            "data_channel_utilization": round(self.data_channel_utilization(), 4),
+            **self.extra,
+        }
+
+    def speedup_over(self, other: "SimResult") -> float:
+        """Execution-time speedup of this run relative to ``other``."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return other.total_cycles / self.total_cycles

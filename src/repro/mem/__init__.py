@@ -1,0 +1,24 @@
+"""Cache hierarchy and directory-based coherence substrate.
+
+Regular (non-broadcast) variables live here: private L1 caches, a shared L2
+distributed in per-core banks, a MOESI-style directory, and off-chip DRAM
+behind four memory controllers (Table 1).  The model is transaction level:
+each access computes a completion cycle from cache state, directory state,
+mesh distance, and serialization at the home bank.
+"""
+
+from repro.mem.address import AddressMap
+from repro.mem.cache import CacheArray
+from repro.mem.directory import Directory, DirectoryEntry, LineState
+from repro.mem.dram import DramModel
+from repro.mem.hierarchy import MemorySystem
+
+__all__ = [
+    "AddressMap",
+    "CacheArray",
+    "Directory",
+    "DirectoryEntry",
+    "LineState",
+    "DramModel",
+    "MemorySystem",
+]

@@ -1,0 +1,43 @@
+"""Address mapping: lines, home L2 banks, and memory controllers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CacheConfig, MemoryConfig
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Maps word addresses to cache lines, home banks, and controllers.
+
+    The shared L2 is distributed in per-core banks; lines are interleaved
+    across banks by line address, which is the standard arrangement and the
+    one the paper assumes ("Shared with per-core 512KB WB banks").
+    """
+
+    cache: CacheConfig
+    memory: MemoryConfig
+    num_cores: int
+
+    def line_of(self, addr: int) -> int:
+        """Line-aligned address containing ``addr``."""
+        return addr // self.cache.line_bytes
+
+    def line_base(self, addr: int) -> int:
+        return self.line_of(addr) * self.cache.line_bytes
+
+    def word_of(self, addr: int, size: int = 8) -> int:
+        """Word-aligned address (default 8-byte words)."""
+        return (addr // size) * size
+
+    def home_bank(self, addr: int) -> int:
+        """Core id whose L2 bank is the home of the line containing ``addr``."""
+        return self.line_of(addr) % self.num_cores
+
+    def memory_controller(self, addr: int) -> int:
+        """Memory controller serving the line containing ``addr``."""
+        return self.line_of(addr) % self.memory.controllers
+
+    def same_line(self, addr_a: int, addr_b: int) -> bool:
+        return self.line_of(addr_a) == self.line_of(addr_b)

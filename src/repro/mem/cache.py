@@ -1,0 +1,89 @@
+"""Set-associative cache tag array with LRU replacement.
+
+Only tags are modelled (values live in the shared functional store of the
+memory system); the array answers hit/miss queries and produces victims on
+fills, which is all the timing model needs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+
+class CacheArray:
+    """A tag array with ``num_sets`` sets of ``associativity`` ways (LRU)."""
+
+    def __init__(self, num_sets: int, associativity: int, line_bytes: int, name: str = "cache") -> None:
+        if num_sets <= 0 or associativity <= 0:
+            raise ValueError("cache geometry must be positive")
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self.line_bytes = line_bytes
+        self.name = name
+        # set index -> OrderedDict(line_number -> True), most recent last
+        self._sets: Dict[int, OrderedDict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def _set_for(self, line: int) -> OrderedDict:
+        index = self._set_index(line)
+        if index not in self._sets:
+            self._sets[index] = OrderedDict()
+        return self._sets[index]
+
+    # ------------------------------------------------------------------ api
+    def lookup(self, line: int, touch: bool = True) -> bool:
+        """Return True on hit; update LRU order when ``touch`` is set."""
+        entries = self._set_for(line)
+        if line in entries:
+            if touch:
+                entries.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Hit/miss check without disturbing LRU order or statistics."""
+        return line in self._set_for(line)
+
+    def fill(self, line: int) -> Optional[int]:
+        """Insert a line; return the evicted line number if one was displaced."""
+        entries = self._set_for(line)
+        victim = None
+        if line in entries:
+            entries.move_to_end(line)
+            return None
+        if len(entries) >= self.associativity:
+            victim, _ = entries.popitem(last=False)
+            self.evictions += 1
+        entries[line] = True
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        """Remove a line (coherence invalidation); returns True if present."""
+        entries = self._set_for(line)
+        if line in entries:
+            del entries[line]
+            return True
+        return False
+
+    def resident_lines(self) -> List[int]:
+        lines: List[int] = []
+        for entries in self._sets.values():
+            lines.extend(entries.keys())
+        return lines
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(entries) for entries in self._sets.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

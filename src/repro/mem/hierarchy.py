@@ -1,0 +1,314 @@
+"""The full cached-memory hierarchy: L1s, distributed L2, directory, DRAM.
+
+This is the substrate used by *regular* variables (and by all
+synchronization in the Baseline and Baseline+ configurations).  It is a
+transaction-level model: every access immediately computes its completion
+cycle from current cache/directory state, mesh distances, and serialization
+at the home L2 bank, and updates that state.  Spin-waiting is expressed with
+:meth:`MemorySystem.wait_until`, which models invalidation-based waiting:
+waiters are re-notified when a writer updates the location and their refills
+serialize at the home bank — the effect that makes centralized barriers and
+contended locks expensive at high core counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import MachineConfig
+from repro.errors import MemoryError_
+from repro.isa.operations import RmwKind
+from repro.mem.address import AddressMap
+from repro.mem.cache import CacheArray
+from repro.mem.directory import Directory, LineState
+from repro.mem.dram import DramModel
+from repro.noc.mesh import MeshNetwork
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import Tracer
+
+#: Cycles the home bank is occupied serving each refill to a waiting spinner.
+REFILL_SERIALIZATION = 3
+#: Cycles the home bank needs to issue each invalidation message.
+INVALIDATION_ISSUE = 1
+#: Request/response message sizes in bits (address-only vs full line).
+REQUEST_BITS = 64
+LINE_BITS = 512
+
+
+@dataclass
+class _Waiter:
+    core: int
+    predicate: Callable[[int], bool]
+    callback: Callable[[int], None]
+
+
+class MemorySystem:
+    """Timing + functional model of the coherent cached memory."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MachineConfig,
+        mesh: MeshNetwork,
+        stats: Optional[StatsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.mesh = mesh
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.address_map = AddressMap(config.cache, config.memory, config.num_cores)
+        self.directory = Directory()
+        self.dram = DramModel(config.memory, self.stats)
+        self._l1 = [
+            CacheArray(
+                num_sets=config.cache.l1_sets,
+                associativity=config.cache.l1_assoc,
+                line_bytes=config.cache.line_bytes,
+                name=f"l1[{core}]",
+            )
+            for core in range(config.num_cores)
+        ]
+        self._values: Dict[int, int] = {}
+        self._l2_resident: set = set()
+        self._line_busy_until: Dict[int, int] = {}
+        self._waiters: Dict[int, List[_Waiter]] = {}
+
+    # ------------------------------------------------------------ functional
+    def peek(self, addr: int) -> int:
+        """Functional read without timing effects (for tests and debugging)."""
+        return self._values.get(self.address_map.word_of(addr), 0)
+
+    def poke(self, addr: int, value: int) -> None:
+        """Functional write without timing effects (workload initialization)."""
+        self._values[self.address_map.word_of(addr)] = value
+
+    def l1_cache(self, core: int) -> CacheArray:
+        return self._l1[core]
+
+    # ----------------------------------------------------------------- reads
+    def read(self, core: int, addr: int, size: int = 8) -> Tuple[int, int]:
+        """Load; returns ``(value, completion_cycle)``."""
+        self._check_core(core)
+        now = self.sim.now
+        word = self.address_map.word_of(addr, size)
+        line = self.address_map.line_of(addr)
+        self.stats.counter("mem/reads").add()
+        entry = self.directory.entry(line)
+        if self._l1[core].lookup(line) and entry.has_copy(core):
+            completion = now + self.config.cache.l1_latency
+            self.tracer.emit(now, f"core{core}", "mem.read.hit", f"addr={addr:#x}")
+            return self._values.get(word, 0), completion
+        self.stats.counter("mem/read_misses").add()
+        completion = self._miss_transaction(core, line, now, for_write=False)
+        self._fill_l1(core, line)
+        self.directory.record_read(line, core)
+        self.tracer.emit(now, f"core{core}", "mem.read.miss", f"addr={addr:#x}")
+        return self._values.get(word, 0), completion
+
+    # ---------------------------------------------------------------- writes
+    def write(self, core: int, addr: int, value: int, size: int = 8) -> int:
+        """Store; returns the completion cycle.  Waiters are re-checked."""
+        self._check_core(core)
+        now = self.sim.now
+        word = self.address_map.word_of(addr, size)
+        line = self.address_map.line_of(addr)
+        self.stats.counter("mem/writes").add()
+        entry = self.directory.entry(line)
+        if (
+            entry.state is LineState.MODIFIED
+            and entry.owner == core
+            and self._l1[core].lookup(line)
+        ):
+            completion = now + self.config.cache.l1_latency
+        else:
+            self.stats.counter("mem/write_misses").add()
+            completion = self._miss_transaction(core, line, now, for_write=True)
+            self._fill_l1(core, line)
+        self.directory.record_write(line, core)
+        self._values[word] = value
+        self.tracer.emit(now, f"core{core}", "mem.write", f"addr={addr:#x} value={value}")
+        self._notify_waiters(word, value, completion)
+        return completion
+
+    # --------------------------------------------------------------- atomics
+    def atomic(
+        self,
+        core: int,
+        addr: int,
+        kind: RmwKind,
+        operand: int = 1,
+        expected: int = 0,
+    ) -> Tuple[int, bool, int]:
+        """Atomic RMW; returns ``(old_value, success, completion_cycle)``.
+
+        Every atomic obtains exclusive ownership of the line at the home
+        bank, so contended atomics on the same line serialize there — which
+        is exactly why CAS-based synchronization struggles at high core
+        counts in the Baseline configurations.
+        """
+        self._check_core(core)
+        now = self.sim.now
+        word = self.address_map.word_of(addr)
+        line = self.address_map.line_of(addr)
+        self.stats.counter("mem/atomics").add()
+        entry = self.directory.entry(line)
+        if (
+            entry.state is LineState.MODIFIED
+            and entry.owner == core
+            and self._l1[core].lookup(line)
+        ):
+            completion = now + self.config.cache.l1_latency
+        else:
+            completion = self._miss_transaction(core, line, now, for_write=True)
+            self._fill_l1(core, line)
+        self.directory.record_write(line, core)
+        old = self._values.get(word, 0)
+        new, success = apply_rmw(kind, old, operand, expected)
+        if success:
+            self._values[word] = new
+            self._notify_waiters(word, new, completion)
+        self.tracer.emit(
+            now, f"core{core}", "mem.atomic", f"addr={addr:#x} kind={kind.value} old={old}"
+        )
+        return old, success, completion
+
+    # ----------------------------------------------------------- spin waits
+    def wait_until(
+        self,
+        core: int,
+        addr: int,
+        predicate: Callable[[int], bool],
+        callback: Callable[[int], None],
+    ) -> None:
+        """Invoke ``callback(value)`` once ``predicate(value)`` holds.
+
+        If it already holds, the callback is scheduled after an L1-hit
+        latency (the spinner re-reads its cached copy).  Otherwise the waiter
+        is parked and woken by the write that satisfies the predicate, with
+        refill latency plus serialization among simultaneously woken waiters.
+        """
+        self._check_core(core)
+        word = self.address_map.word_of(addr)
+        value = self._values.get(word, 0)
+        if predicate(value):
+            self.sim.schedule(self.config.cache.l1_latency, callback, value)
+            return
+        # Spinning keeps a shared copy resident so the writer must invalidate it.
+        line = self.address_map.line_of(addr)
+        self._fill_l1(core, line)
+        self.directory.record_read(line, core)
+        self._waiters.setdefault(word, []).append(
+            _Waiter(core=core, predicate=predicate, callback=callback)
+        )
+        self.stats.counter("mem/spin_waits").add()
+
+    def waiter_count(self, addr: int) -> int:
+        """Number of parked spinners on a word (useful for tests)."""
+        return len(self._waiters.get(self.address_map.word_of(addr), []))
+
+    # ---------------------------------------------------------------- internal
+    def _notify_waiters(self, word: int, value: int, write_completion: int) -> None:
+        waiters = self._waiters.get(word)
+        if not waiters:
+            return
+        still_waiting: List[_Waiter] = []
+        woken: List[_Waiter] = []
+        for waiter in waiters:
+            if waiter.predicate(value):
+                woken.append(waiter)
+            else:
+                still_waiting.append(waiter)
+        if still_waiting:
+            self._waiters[word] = still_waiting
+        else:
+            self._waiters.pop(word, None)
+        if not woken:
+            return
+        line = word // self.config.cache.line_bytes
+        home = self.address_map.home_bank(word)
+        for index, waiter in enumerate(woken):
+            # Invalidate + refill: the spinner's copy was invalidated by the
+            # write; it re-fetches the line from the home bank.  Refills are
+            # served one at a time by the bank.
+            flight = self.mesh.flight_latency(home, waiter.core, LINE_BITS)
+            wake_cycle = (
+                write_completion
+                + self.config.cache.l2_latency
+                + flight
+                + index * REFILL_SERIALIZATION
+            )
+            delay = max(0, wake_cycle - self.sim.now)
+            self.sim.schedule(delay, waiter.callback, value)
+            self.stats.counter("mem/spin_wakeups").add()
+
+    def _miss_transaction(self, core: int, line: int, now: int, for_write: bool) -> int:
+        """Timing of a miss/upgrade transaction through the home bank."""
+        cfg = self.config.cache
+        home = self.address_map.home_bank(line * cfg.line_bytes)
+        # Miss detected in L1, request travels to the home bank.
+        t = now + cfg.l1_latency
+        t = self.mesh.unicast(t, core, home, REQUEST_BITS)
+        # Conflicting transactions on the same line serialize at the home bank.
+        t = max(t, self._line_busy_until.get(line, 0))
+        # L2 lookup; first touch of a line comes from DRAM.
+        if line in self._l2_resident:
+            t += cfg.l2_latency
+        else:
+            controller = self.address_map.memory_controller(line * cfg.line_bytes)
+            t = self.dram.access(t, controller)
+            self._l2_resident.add(line)
+            self.stats.counter("mem/l2_fills").add()
+        entry = self.directory.entry(line)
+        # Fetch the dirty copy from a remote owner if there is one.
+        if entry.state is LineState.MODIFIED and entry.owner is not None and entry.owner != core:
+            t = self.mesh.unicast(t, home, entry.owner, REQUEST_BITS)
+            t += cfg.l1_latency
+            t = self.mesh.unicast(t, entry.owner, home, LINE_BITS)
+            self.stats.counter("mem/owner_forwards").add()
+        # Writes must invalidate every other copy and collect acks.
+        if for_write:
+            targets = self.directory.invalidation_targets(line, core)
+            if targets:
+                ack_time = t
+                for index, target in enumerate(sorted(targets)):
+                    issue = t + index * INVALIDATION_ISSUE
+                    arrive = issue + self.mesh.flight_latency(home, target, REQUEST_BITS)
+                    self._l1[target].invalidate(line)
+                    ack = arrive + self.mesh.flight_latency(target, home, REQUEST_BITS)
+                    ack_time = max(ack_time, ack)
+                    self.stats.counter("mem/invalidations").add()
+                t = ack_time
+        self._line_busy_until[line] = t
+        # Data/ownership grant returns to the requester.
+        t = self.mesh.unicast(t, home, core, LINE_BITS)
+        return t
+
+    def _fill_l1(self, core: int, line: int) -> None:
+        victim = self._l1[core].fill(line)
+        if victim is not None:
+            self.directory.evict(victim, core)
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.config.num_cores:
+            raise MemoryError_(f"core {core} out of range")
+
+
+def apply_rmw(kind: RmwKind, old: int, operand: int, expected: int) -> Tuple[int, bool]:
+    """Functional semantics of the RMW kinds; returns ``(new_value, success)``."""
+    if kind is RmwKind.TEST_AND_SET:
+        return 1, True
+    if kind is RmwKind.FETCH_AND_INC:
+        return old + 1, True
+    if kind is RmwKind.FETCH_AND_ADD:
+        return old + operand, True
+    if kind is RmwKind.SWAP:
+        return operand, True
+    if kind is RmwKind.COMPARE_AND_SWAP:
+        if old == expected:
+            return operand, True
+        return old, False
+    raise MemoryError_(f"unsupported RMW kind {kind!r}")

@@ -1,0 +1,13 @@
+"""Wired on-chip network models.
+
+The paper's manycore uses a 2D mesh with 4-cycle hops and 128-bit links
+(Table 1).  Baseline+ additionally supports virtual tree-based broadcast with
+flit replication at the router crossbars [Krishna et al., 22].
+"""
+
+from repro.noc.topology import MeshTopology
+from repro.noc.routing import xy_route_length
+from repro.noc.mesh import MeshNetwork
+from repro.noc.broadcast_tree import BroadcastTree
+
+__all__ = ["MeshTopology", "xy_route_length", "MeshNetwork", "BroadcastTree"]

@@ -1,0 +1,105 @@
+"""Transaction-level 2D mesh network timing model.
+
+The model charges per-hop latency, serialization of multi-flit messages, and
+ejection-port contention at the destination node.  Ejection contention is the
+effect that matters most for the paper's results: when many requests converge
+on one node (the home L2 bank of a contended lock or barrier counter), they
+are served one after another, which is what makes conventional centralized
+synchronization scale poorly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.config import NocConfig
+from repro.noc.broadcast_tree import BroadcastTree
+from repro.noc.topology import MeshTopology
+from repro.sim.stats import StatsRegistry
+
+
+class MeshNetwork:
+    """Latency/occupancy model of the wired mesh."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        config: NocConfig,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.tree = BroadcastTree(topology)
+        # Earliest cycle at which each node's ejection port is free again.
+        self._ejection_free: Dict[int, int] = {}
+        # Earliest cycle at which each node's injection port is free again.
+        self._injection_free: Dict[int, int] = {}
+
+    # --------------------------------------------------------------- unicast
+    def flight_latency(self, src: int, dst: int, message_bits: int = 128) -> int:
+        """Pure wire latency of a unicast message, without port contention."""
+        if src == dst:
+            return self.config.router_latency
+        hops = self.topology.hop_distance(src, dst)
+        serialization = self.config.cycles_per_flit(message_bits) - 1
+        return hops * self.config.hop_latency + self.config.router_latency + serialization
+
+    def unicast(self, now: int, src: int, dst: int, message_bits: int = 128) -> int:
+        """Send a message now; return its arrival cycle (with port contention)."""
+        inject_at = max(now, self._injection_free.get(src, 0))
+        occupancy = self.config.cycles_per_flit(message_bits)
+        self._injection_free[src] = inject_at + occupancy
+        arrival = inject_at + self.flight_latency(src, dst, message_bits)
+        eject_at = max(arrival, self._ejection_free.get(dst, 0))
+        self._ejection_free[dst] = eject_at + occupancy
+        self.stats.counter("noc/messages").add()
+        self.stats.counter("noc/flit_cycles").add(occupancy)
+        return eject_at + occupancy
+
+    def round_trip(self, now: int, src: int, dst: int, request_bits: int = 128,
+                   response_bits: int = 128) -> int:
+        """Request to ``dst`` plus response back to ``src``."""
+        arrival = self.unicast(now, src, dst, request_bits)
+        return self.unicast(arrival, dst, src, response_bits)
+
+    # ------------------------------------------------------------- broadcast
+    def broadcast(self, now: int, src: int, message_bits: int = 128) -> int:
+        """Broadcast to every node; return the cycle the last copy arrives.
+
+        With ``tree_broadcast`` (Baseline+), the source injects once and the
+        routers replicate flits, so latency is the tree depth.  Without it
+        (Baseline), the source injects one unicast per destination and the
+        injection port serializes them.
+        """
+        if self.config.tree_broadcast:
+            depth = self.tree.depth(src)
+            serialization = self.config.cycles_per_flit(message_bits) - 1
+            latency = depth * self.config.hop_latency + self.config.router_latency + serialization
+            self.stats.counter("noc/broadcasts").add()
+            return now + latency
+        last_arrival = now
+        for dst in self.topology.nodes():
+            if dst == src:
+                continue
+            last_arrival = max(last_arrival, self.unicast(now, src, dst, message_bits))
+        self.stats.counter("noc/broadcasts").add()
+        return last_arrival
+
+    def multicast(self, now: int, src: int, dsts, message_bits: int = 128) -> int:
+        """Multicast to a destination set; returns the last arrival cycle."""
+        if self.config.tree_broadcast:
+            # The tree reaches everyone; latency is bounded by the tree depth.
+            return self.broadcast(now, src, message_bits)
+        last_arrival = now
+        for dst in dsts:
+            if dst == src:
+                continue
+            last_arrival = max(last_arrival, self.unicast(now, src, dst, message_bits))
+        return last_arrival
+
+    # ----------------------------------------------------------------- stats
+    def reset_ports(self) -> None:
+        """Forget port occupancy (used between independent experiment phases)."""
+        self._ejection_free.clear()
+        self._injection_free.clear()

@@ -1,0 +1,27 @@
+"""Dimension-ordered (XY) routing helpers."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.noc.topology import MeshTopology
+
+
+def xy_route(topology: MeshTopology, src: int, dst: int) -> List[int]:
+    """The sequence of nodes visited by an XY-routed packet (inclusive)."""
+    sx, sy = topology.coordinates(src)
+    dx, dy = topology.coordinates(dst)
+    path = [src]
+    x, y = sx, sy
+    while x != dx:
+        x += 1 if dx > x else -1
+        path.append(topology.node_at(x, y))
+    while y != dy:
+        y += 1 if dy > y else -1
+        path.append(topology.node_at(x, y))
+    return path
+
+
+def xy_route_length(topology: MeshTopology, src: int, dst: int) -> int:
+    """Number of hops on the XY route (equals Manhattan distance)."""
+    return topology.hop_distance(src, dst)

@@ -1,0 +1,85 @@
+"""2D mesh topology: node placement and distance computation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """A ``width`` x ``height`` mesh holding ``num_nodes`` cores.
+
+    Nodes are numbered row-major.  The mesh may be slightly larger than the
+    node count when the count is not a perfect square (e.g. 128 cores map to
+    a 12x11 grid region of a 12x12 mesh); unused positions simply never send
+    or receive traffic.
+    """
+
+    num_nodes: int
+    width: int
+    height: int
+
+    @classmethod
+    def square_for(cls, num_nodes: int) -> "MeshTopology":
+        """Build the smallest (near-)square mesh that fits ``num_nodes``."""
+        if num_nodes < 1:
+            raise ConfigurationError("mesh needs at least one node")
+        width = 1
+        while width * width < num_nodes:
+            width += 1
+        height = width
+        while width * (height - 1) >= num_nodes:
+            height -= 1
+        return cls(num_nodes=num_nodes, width=width, height=height)
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        """(x, y) position of a node."""
+        self._check(node)
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        node = y * self.width + x
+        self._check(node)
+        return node
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Manhattan distance between two nodes (XY routing hop count)."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def max_hop_distance(self) -> int:
+        """Network diameter: corner-to-corner Manhattan distance."""
+        return (self.width - 1) + (self.height - 1)
+
+    def average_hop_distance(self) -> float:
+        """Average distance over all ordered pairs of distinct nodes."""
+        if self.num_nodes < 2:
+            return 0.0
+        total = 0
+        for src in range(self.num_nodes):
+            for dst in range(self.num_nodes):
+                if src != dst:
+                    total += self.hop_distance(src, dst)
+        return total / (self.num_nodes * (self.num_nodes - 1))
+
+    def neighbors(self, node: int) -> List[int]:
+        """Adjacent nodes in the mesh (2 to 4 of them)."""
+        x, y = self.coordinates(node)
+        result = []
+        for nx, ny in ((x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)):
+            if 0 <= nx < self.width and 0 <= ny < self.height:
+                neighbor = ny * self.width + nx
+                if neighbor < self.num_nodes:
+                    result.append(neighbor)
+        return result
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(self.num_nodes))
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ConfigurationError(f"node {node} out of range (0..{self.num_nodes - 1})")

@@ -1,0 +1,66 @@
+"""Processes and the process table.
+
+Every broadcast-memory chunk is tagged with the PID of the process that
+allocated it, so the OS model's main job here is to hand out PIDs and track
+which processes are alive for protection and cleanup purposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+
+
+@dataclass
+class OsProcess:
+    """One running program on the manycore."""
+
+    pid: int
+    name: str
+    thread_ids: List[int] = field(default_factory=list)
+    bm_allocations: List[int] = field(default_factory=list)
+    alive: bool = True
+
+    def add_thread(self, thread_id: int) -> None:
+        self.thread_ids.append(thread_id)
+
+    def record_allocation(self, base_addr: int) -> None:
+        self.bm_allocations.append(base_addr)
+
+
+class ProcessTable:
+    """Allocates PIDs and tracks live processes (multiprogramming support)."""
+
+    def __init__(self, max_pid: int = 255) -> None:
+        self.max_pid = max_pid
+        self._processes: Dict[int, OsProcess] = {}
+        self._next_pid = 1
+
+    def spawn(self, name: str) -> OsProcess:
+        if self._next_pid > self.max_pid:
+            raise ReproError("process table full: PID space exhausted")
+        process = OsProcess(pid=self._next_pid, name=name)
+        self._processes[process.pid] = process
+        self._next_pid += 1
+        return process
+
+    def get(self, pid: int) -> OsProcess:
+        if pid not in self._processes:
+            raise ReproError(f"no such process: pid={pid}")
+        return self._processes[pid]
+
+    def exists(self, pid: int) -> bool:
+        return pid in self._processes
+
+    def terminate(self, pid: int) -> OsProcess:
+        process = self.get(pid)
+        process.alive = False
+        return process
+
+    def live_processes(self) -> List[OsProcess]:
+        return [p for p in self._processes.values() if p.alive]
+
+    def __len__(self) -> int:
+        return len(self._processes)

@@ -1,0 +1,63 @@
+"""Per-process virtual view of the broadcast memory.
+
+The OS maps each process's virtual BM pages onto the (small) physical BM.
+Different processes can share the same physical page and own disjoint 64-bit
+chunks of it (Section 4.4); chunk-level protection itself is enforced by the
+PID tags in :class:`~repro.core.broadcast_memory.BroadcastMemory`, while this
+class handles the page-level mapping the TLB performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.config import BroadcastMemoryConfig
+from repro.core.translation import BmTlb
+from repro.errors import AllocationError
+
+
+@dataclass
+class BmVirtualMemory:
+    """Page-level BM mapping shared by all processes."""
+
+    config: BroadcastMemoryConfig
+    tlb: BmTlb = field(default=None)  # type: ignore[assignment]
+    _next_virtual_page: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.tlb is None:
+            self.tlb = BmTlb(self.config)
+
+    def ensure_mapping(self, pid: int, physical_addr: int) -> int:
+        """Return the virtual address of a physical BM entry for ``pid``.
+
+        Creates the page mapping lazily the first time a process touches a
+        physical page; every process gets its own virtual page numbers.
+        """
+        physical_page = physical_addr // self.config.entries_per_page
+        if physical_page >= self.config.num_pages:
+            raise AllocationError(
+                f"physical BM page {physical_page} does not exist "
+                f"(BM has {self.config.num_pages} pages)"
+            )
+        existing = self.tlb.reverse_translate(pid, physical_addr)
+        if existing is not None:
+            return existing
+        virtual_page = self._next_virtual_page.get(pid, 0)
+        self._next_virtual_page[pid] = virtual_page + 1
+        self.tlb.map_page(pid, virtual_page, physical_page)
+        offset = physical_addr % self.config.entries_per_page
+        return virtual_page * self.config.entries_per_page + offset
+
+    def translate(self, pid: int, virtual_addr: int, for_write: bool = False) -> int:
+        return self.tlb.translate(pid, virtual_addr, for_write)
+
+    def mappings_for(self, pid: int) -> List[int]:
+        return [m.physical_page for m in self.tlb.mappings_for(pid)]
+
+    def release_process(self, pid: int) -> None:
+        """Drop every mapping of a terminating process."""
+        for mapping in list(self.tlb.mappings_for(pid)):
+            self.tlb.unmap_page(pid, mapping.virtual_page)
+        self._next_virtual_page.pop(pid, None)

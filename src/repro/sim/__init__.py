@@ -1,0 +1,27 @@
+"""Discrete-event simulation engine used by every timing model in repro.
+
+The engine is deliberately small: a cycle-granular event queue
+(:class:`~repro.sim.engine.Simulator`), deterministic per-component random
+number streams (:class:`~repro.sim.rng.DeterministicRng`), and statistics
+helpers (:mod:`repro.sim.stats`).  Higher layers (memory, NoC, wireless,
+machine) schedule callbacks on the shared simulator instance.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.process import SimProcess, Timeout, WaitCondition
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import Counter, Histogram, StatsRegistry, UtilizationTracker
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "SimProcess",
+    "Timeout",
+    "WaitCondition",
+    "DeterministicRng",
+    "Counter",
+    "Histogram",
+    "StatsRegistry",
+    "UtilizationTracker",
+]

@@ -1,0 +1,129 @@
+"""Cycle-granular discrete-event simulator.
+
+Every timing model in the library (caches, mesh network, wireless channels,
+cores) shares a single :class:`Simulator` instance and advances time by
+scheduling callbacks.  Time is measured in integer processor cycles at the
+paper's 1 GHz clock, so one cycle is also one nanosecond.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Simulator:
+    """A deterministic event-driven simulator with integer cycle time."""
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._queue: list = []
+        self._seq: int = 0
+        self._running: bool = False
+        self._events_processed: int = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + int(delay), callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: int,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute cycle ``time``."""
+        time = int(time)
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at cycle {time}, current cycle is {self._now}"
+            )
+        event = Event(time=time, priority=priority, seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # --------------------------------------------------------------- running
+    def step(self) -> bool:
+        """Fire the next non-cancelled event.  Returns False if queue empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event queue corrupted: time went backwards")
+            self._now = event.time
+            self._events_processed += 1
+            event.fire()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` cycles, or ``max_events``.
+
+        Returns the simulation time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run call)")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                self._events_processed += 1
+                event.fire()
+                fired += 1
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def drain(self, max_events: int = 10_000_000) -> int:
+        """Run until no events remain, guarding against runaway simulations."""
+        count = 0
+        while self.step():
+            count += 1
+            if count > max_events:
+                raise SimulationError(f"simulation exceeded {max_events} events; likely livelock")
+        return self._now

@@ -1,0 +1,33 @@
+"""Event objects managed by the simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, priority, seq)``.  ``seq`` is a
+    monotonically increasing tie-breaker assigned by the simulator so that
+    events scheduled earlier run earlier at the same cycle, which keeps every
+    simulation fully deterministic.
+    """
+
+    time: int
+    priority: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when it is popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event was cancelled."""
+        if not self.cancelled:
+            self.callback(*self.args)

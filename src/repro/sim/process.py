@@ -1,0 +1,102 @@
+"""Generator-based processes layered on the event engine.
+
+The machine layer drives workload threads itself, but a lightweight process
+abstraction is useful for unit tests and for auxiliary activities (e.g. a
+background traffic injector).  A process is a generator that yields
+:class:`Timeout` or :class:`WaitCondition` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class Timeout:
+    """Suspend the process for a fixed number of cycles."""
+
+    cycles: int
+
+
+class WaitCondition:
+    """Suspend the process until :meth:`notify` is called.
+
+    The value passed to ``notify`` becomes the result of the ``yield``.
+    """
+
+    def __init__(self) -> None:
+        self._waiters: List[SimProcess] = []
+        self._fired = False
+        self._value: Any = None
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def add_waiter(self, process: "SimProcess") -> None:
+        self._waiters.append(process)
+
+    def notify(self, value: Any = None) -> None:
+        """Wake every waiting process at the current cycle."""
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process._resume(value)
+
+
+class SimProcess:
+    """Drives a generator coroutine over a simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator,
+        name: str = "process",
+        on_finish: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.generator = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._on_finish = on_finish
+
+    def start(self, delay: int = 0) -> "SimProcess":
+        self.sim.schedule(delay, self._resume, None)
+        return self
+
+    # ------------------------------------------------------------------ core
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            raise SimulationError(f"process {self.name!r} resumed after finishing")
+        try:
+            request = self.generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            if self._on_finish is not None:
+                self._on_finish(self.result)
+            return
+        self._dispatch(request)
+
+    def _dispatch(self, request: Any) -> None:
+        if isinstance(request, Timeout):
+            if request.cycles < 0:
+                raise SimulationError("Timeout cycles must be non-negative")
+            self.sim.schedule(request.cycles, self._resume, None)
+        elif isinstance(request, WaitCondition):
+            if request.fired:
+                self.sim.schedule(0, self._resume, request._value)
+            else:
+                request.add_waiter(self)
+        elif isinstance(request, int):
+            self.sim.schedule(request, self._resume, None)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported request {request!r}"
+            )

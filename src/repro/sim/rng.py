@@ -1,0 +1,63 @@
+"""Deterministic random-number streams.
+
+Every stochastic component (e.g. the exponential-backoff MAC in each
+transceiver, workload think-time jitter) draws from its own named stream so
+results are reproducible and independent of the order in which components
+happen to be constructed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def _derive_seed(root_seed: int, name: str) -> int:
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class DeterministicRng:
+    """A named, reproducible random stream derived from a root seed."""
+
+    def __init__(self, root_seed: int, name: str) -> None:
+        self.root_seed = int(root_seed)
+        self.name = name
+        self._random = random.Random(_derive_seed(self.root_seed, name))
+
+    def child(self, name: str) -> "DeterministicRng":
+        """Derive an independent sub-stream, e.g. per node or per thread."""
+        return DeterministicRng(self.root_seed, f"{self.name}/{name}")
+
+    # ----------------------------------------------------------- primitives
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high], inclusive."""
+        return self._random.randint(low, high)
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._random.uniform(low, high)
+
+    def expovariate(self, rate: float) -> float:
+        return self._random.expovariate(rate)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._random.choice(seq)
+
+    def shuffle(self, items: List[T]) -> List[T]:
+        """Return a shuffled copy (the input list is not modified)."""
+        copy = list(items)
+        self._random.shuffle(copy)
+        return copy
+
+    def jitter(self, mean: int, fraction: float = 0.1) -> int:
+        """An integer near ``mean`` with +/- ``fraction`` relative jitter."""
+        if mean <= 0:
+            return 0
+        spread = max(1, int(mean * fraction))
+        return max(0, mean + self._random.randint(-spread, spread))

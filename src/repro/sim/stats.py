@@ -1,0 +1,162 @@
+"""Statistics collection for the timing models.
+
+The registry is intentionally simple: named counters, histograms, and
+time-weighted utilization trackers.  Experiments read these to produce the
+paper's tables (e.g. Table 5 reports Data-channel utilization as a percentage
+of total cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming histogram with mean/min/max/percentile support."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Return the ``fraction`` (0..1) percentile of recorded samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+
+class UtilizationTracker:
+    """Tracks how many cycles a shared resource was busy.
+
+    Used for the wireless Data channel (Table 5) and for NoC links.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.busy_cycles: int = 0
+        self.busy_intervals: int = 0
+
+    def add_busy(self, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError("busy cycles must be non-negative")
+        self.busy_cycles += cycles
+        self.busy_intervals += 1
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of ``total_cycles`` the resource was busy."""
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / total_cycles)
+
+
+@dataclass
+class StatsRegistry:
+    """Container for all statistics produced by one simulation run."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+    utilizations: Dict[str, UtilizationTracker] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def utilization(self, name: str) -> UtilizationTracker:
+        if name not in self.utilizations:
+            self.utilizations[name] = UtilizationTracker(name)
+        return self.utilizations[name]
+
+    def counter_value(self, name: str, default: int = 0) -> int:
+        counter = self.counters.get(name)
+        return counter.value if counter is not None else default
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten all statistics into a plain dictionary for reporting."""
+        flat: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            flat[f"counter/{name}"] = counter.value
+        for name, histogram in self.histograms.items():
+            flat[f"hist/{name}/count"] = histogram.count
+            flat[f"hist/{name}/mean"] = histogram.mean
+        for name, tracker in self.utilizations.items():
+            flat[f"util/{name}/busy_cycles"] = tracker.busy_cycles
+        return flat
+
+    def merge(self, other: "StatsRegistry") -> None:
+        """Accumulate another registry into this one (used by sweeps)."""
+        for name, counter in other.counters.items():
+            self.counter(name).add(counter.value)
+        for name, histogram in other.histograms.items():
+            mine = self.histogram(name)
+            mine.samples.extend(histogram.samples)
+        for name, tracker in other.utilizations.items():
+            mine_u = self.utilization(name)
+            mine_u.busy_cycles += tracker.busy_cycles
+            mine_u.busy_intervals += tracker.busy_intervals
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean used throughout the paper's evaluation section."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

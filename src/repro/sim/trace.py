@@ -1,0 +1,54 @@
+"""Optional event tracing.
+
+Traces are invaluable when debugging interleavings (e.g. verifying the total
+order of broadcast-memory writes).  Tracing is off by default because the
+full-application experiments generate millions of events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event: when, who, what."""
+
+    cycle: int
+    source: str
+    kind: str
+    detail: str = ""
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects when enabled."""
+
+    def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: List[TraceRecord] = []
+
+    def emit(self, cycle: int, source: str, kind: str, detail: str = "") -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            return
+        self.records.append(TraceRecord(cycle=cycle, source=source, kind=kind, detail=detail))
+
+    def filter(self, kind: Optional[str] = None, source: Optional[str] = None) -> List[TraceRecord]:
+        """Return records matching the given kind and/or source."""
+        result = []
+        for record in self.records:
+            if kind is not None and record.kind != kind:
+                continue
+            if source is not None and record.source != source:
+                continue
+            result.append(record)
+        return result
+
+    def kinds(self) -> Iterable[str]:
+        return sorted({record.kind for record in self.records})
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,42 @@
+"""Software synchronization algorithms for every architecture configuration.
+
+Each primitive is expressed as generator methods that yield abstract
+operations, so the same workload code runs on all four Table 2
+configurations: the :class:`~repro.sync.api.SyncFactory` picks CAS spin
+locks / centralized barriers (Baseline), MCS locks / tournament barriers
+(Baseline+), or the wireless and tone-channel algorithms of Section 4.3
+(WiSyncNoT / WiSync).
+"""
+
+from repro.sync.api import SyncFactory
+from repro.sync.barriers import (
+    Barrier,
+    CentralizedBarrier,
+    ToneBarrier,
+    TournamentBarrier,
+    WirelessBarrier,
+)
+from repro.sync.cells import AtomicCell, BroadcastCell, CachedCell
+from repro.sync.eureka import OrBarrier
+from repro.sync.locks import CasSpinLock, Lock, McsLock, WirelessLock
+from repro.sync.producer_consumer import ProducerConsumerChannel
+from repro.sync.reduction import Reducer
+
+__all__ = [
+    "SyncFactory",
+    "Barrier",
+    "CentralizedBarrier",
+    "TournamentBarrier",
+    "WirelessBarrier",
+    "ToneBarrier",
+    "Lock",
+    "CasSpinLock",
+    "McsLock",
+    "WirelessLock",
+    "AtomicCell",
+    "CachedCell",
+    "BroadcastCell",
+    "OrBarrier",
+    "Reducer",
+    "ProducerConsumerChannel",
+]

@@ -1,0 +1,162 @@
+"""Barrier implementations for the Table 2 configurations.
+
+* :class:`CentralizedBarrier` — Baseline: sense-reversing centralized barrier
+  whose counter is incremented with a CAS retry loop (Baseline's only atomic)
+  and whose release flag is spun on through the coherence protocol.
+* :class:`TournamentBarrier` — Baseline+: a sense-reversing combining-tree /
+  tournament barrier [31]: arrival climbs a tree, wake-up descends it, every
+  thread spins on its own flag, so there is no hot spot.
+* :class:`WirelessBarrier` — WiSync Data-channel barrier (Section 4.3.2):
+  fetch&increment on a BM counter plus a broadcast release write.
+* :class:`ToneBarrier` — WiSync Tone-channel barrier (Section 4.3.3):
+  ``tone_st`` on arrival, spin locally with ``tone_ld`` until the hardware
+  toggles the location when the channel falls silent.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Generator, List
+
+from repro.cpu.thread import ThreadContext
+from repro.errors import WorkloadError
+from repro.isa.operations import (
+    AtomicOp,
+    BmRmw,
+    BmStore,
+    BmWaitUntil,
+    Read,
+    RmwKind,
+    ToneStore,
+    ToneWait,
+    WaitUntil,
+    Write,
+)
+
+
+class Barrier(ABC):
+    """AND-barrier: every participant waits for all the others."""
+
+    def __init__(self, num_threads: int) -> None:
+        if num_threads < 1:
+            raise WorkloadError("a barrier needs at least one participant")
+        self.num_threads = num_threads
+        self._sense: Dict[int, int] = {}
+
+    def _toggle_sense(self, thread_id: int) -> int:
+        sense = self._sense.get(thread_id, 0) ^ 1
+        self._sense[thread_id] = sense
+        return sense
+
+    @abstractmethod
+    def wait(self, ctx: ThreadContext) -> Generator:
+        """Yield ops until every participating thread has arrived."""
+
+
+class CentralizedBarrier(Barrier):
+    """Baseline sense-reversing barrier on cached memory, CAS-only hardware."""
+
+    def __init__(self, num_threads: int, count_addr: int, release_addr: int) -> None:
+        super().__init__(num_threads)
+        self.count_addr = count_addr
+        self.release_addr = release_addr
+
+    def wait(self, ctx: ThreadContext) -> Generator:
+        sense = self._toggle_sense(ctx.thread_id)
+        # fetch&increment emulated with a CAS retry loop.
+        while True:
+            count = yield Read(self.count_addr)
+            old, success = yield AtomicOp(
+                self.count_addr, RmwKind.COMPARE_AND_SWAP, operand=count + 1, expected=count
+            )
+            if success:
+                break
+        if old == self.num_threads - 1:
+            yield Write(self.count_addr, 0)
+            yield Write(self.release_addr, sense)
+        else:
+            yield WaitUntil(self.release_addr, lambda value, s=sense: value == s)
+
+
+class TournamentBarrier(Barrier):
+    """Baseline+ combining-tree (tournament) barrier with tree wake-up.
+
+    Thread ``i``'s children in the static binary tree are ``2i+1`` and
+    ``2i+2``.  Arrival propagates up the tree, release propagates down it;
+    every flag lives on its own cache line.
+    """
+
+    def __init__(self, num_threads: int, arrival_addrs: List[int], wakeup_addrs: List[int]) -> None:
+        super().__init__(num_threads)
+        if len(arrival_addrs) < num_threads or len(wakeup_addrs) < num_threads:
+            raise WorkloadError("tournament barrier needs one arrival and wakeup flag per thread")
+        self.arrival_addrs = arrival_addrs
+        self.wakeup_addrs = wakeup_addrs
+
+    def _children(self, thread_id: int) -> List[int]:
+        children = []
+        for child in (2 * thread_id + 1, 2 * thread_id + 2):
+            if child < self.num_threads:
+                children.append(child)
+        return children
+
+    def wait(self, ctx: ThreadContext) -> Generator:
+        sense = self._toggle_sense(ctx.thread_id)
+        tid = ctx.thread_id
+        for child in self._children(tid):
+            yield WaitUntil(self.arrival_addrs[child], lambda value, s=sense: value == s)
+        if tid != 0:
+            yield Write(self.arrival_addrs[tid], sense)
+            yield WaitUntil(self.wakeup_addrs[tid], lambda value, s=sense: value == s)
+        for child in self._children(tid):
+            yield Write(self.wakeup_addrs[child], sense)
+
+
+class WirelessBarrier(Barrier):
+    """WiSync Data-channel barrier: BM fetch&inc plus a broadcast release.
+
+    The paper notes the count and the release flag could share one 64-bit
+    entry (32 bits each); two entries are used here for clarity — the timing
+    is identical because only the last arrival writes the release word.
+    """
+
+    MAX_RETRIES = 10_000
+
+    def __init__(self, num_threads: int, count_addr: int, release_addr: int) -> None:
+        super().__init__(num_threads)
+        self.count_addr = count_addr
+        self.release_addr = release_addr
+
+    def wait(self, ctx: ThreadContext) -> Generator:
+        sense = self._toggle_sense(ctx.thread_id)
+        old = None
+        for _ in range(self.MAX_RETRIES):
+            result = yield BmRmw(self.count_addr, RmwKind.FETCH_AND_INC)
+            if not result.afb:
+                old = result.old_value
+                break
+        if old is None:
+            raise RuntimeError("wireless barrier fetch&inc exceeded retry bound")
+        if old == self.num_threads - 1:
+            yield BmStore(self.count_addr, 0)
+            yield BmStore(self.release_addr, sense)
+        else:
+            yield BmWaitUntil(self.release_addr, lambda value, s=sense: value == s)
+
+
+class ToneBarrier(Barrier):
+    """WiSync Tone-channel barrier (Figure 4c).
+
+    Arrival is a ``tone_st``; completion is observed by spinning with
+    ``tone_ld`` on the local BM location, which the hardware toggles when the
+    Tone channel falls silent.
+    """
+
+    def __init__(self, num_threads: int, bm_addr: int) -> None:
+        super().__init__(num_threads)
+        self.bm_addr = bm_addr
+
+    def wait(self, ctx: ThreadContext) -> Generator:
+        sense = self._toggle_sense(ctx.thread_id)
+        yield ToneStore(self.bm_addr)
+        yield ToneWait(self.bm_addr, local_sense=sense)

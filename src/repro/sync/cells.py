@@ -1,0 +1,119 @@
+"""Atomic cells: a uniform view of one shared 64-bit counter/flag/word.
+
+Workloads that only need "a shared word with atomic operations" (the CAS
+kernels, reductions, eureka flags) use an :class:`AtomicCell` so the same
+kernel code runs against cached memory (Baseline/Baseline+) and against the
+Broadcast Memory (WiSync).  All methods are generators to be driven with
+``yield from`` inside a thread body.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Generator, Tuple
+
+from repro.cpu.thread import ThreadContext
+from repro.isa.operations import (
+    AtomicOp,
+    BmLoad,
+    BmRmw,
+    BmStore,
+    BmWaitUntil,
+    Read,
+    RmwKind,
+    WaitUntil,
+    Write,
+)
+
+
+class AtomicCell(ABC):
+    """One shared 64-bit location with atomic read-modify-write support."""
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
+
+    @abstractmethod
+    def read(self, ctx: ThreadContext) -> Generator:
+        """Yield ops to load the value; returns it."""
+
+    @abstractmethod
+    def write(self, ctx: ThreadContext, value: int) -> Generator:
+        """Yield ops to store ``value``."""
+
+    @abstractmethod
+    def cas(self, ctx: ThreadContext, expected: int, new: int) -> Generator:
+        """Atomic compare-and-swap; returns ``(success, old_value)``."""
+
+    @abstractmethod
+    def fetch_add(self, ctx: ThreadContext, delta: int = 1) -> Generator:
+        """Atomic fetch-and-add; returns the old value."""
+
+    @abstractmethod
+    def wait_until(self, ctx: ThreadContext, predicate: Callable[[int], bool]) -> Generator:
+        """Spin until ``predicate(value)``; returns the satisfying value."""
+
+
+class CachedCell(AtomicCell):
+    """A cell held in regular cached memory, kept coherent by the directory."""
+
+    def read(self, ctx: ThreadContext) -> Generator:
+        value = yield Read(self.addr)
+        return value
+
+    def write(self, ctx: ThreadContext, value: int) -> Generator:
+        yield Write(self.addr, value)
+
+    def cas(self, ctx: ThreadContext, expected: int, new: int) -> Generator:
+        old, success = yield AtomicOp(
+            self.addr, RmwKind.COMPARE_AND_SWAP, operand=new, expected=expected
+        )
+        return success, old
+
+    def fetch_add(self, ctx: ThreadContext, delta: int = 1) -> Generator:
+        old, _ = yield AtomicOp(self.addr, RmwKind.FETCH_AND_ADD, operand=delta)
+        return old
+
+    def wait_until(self, ctx: ThreadContext, predicate: Callable[[int], bool]) -> Generator:
+        value = yield WaitUntil(self.addr, predicate)
+        return value
+
+
+class BroadcastCell(AtomicCell):
+    """A cell held in the Broadcast Memory and updated over the Data channel.
+
+    Atomic operations follow the paper's AFB protocol (Figure 4a-b): if the
+    Atomicity Failure Bit is set, the RMW instruction did not perform its
+    write and is re-executed.
+    """
+
+    #: Safety bound on AFB retries; contention never realistically needs this.
+    MAX_RETRIES = 10_000
+
+    def read(self, ctx: ThreadContext) -> Generator:
+        value = yield BmLoad(self.addr)
+        return value
+
+    def write(self, ctx: ThreadContext, value: int) -> Generator:
+        yield BmStore(self.addr, value)
+
+    def cas(self, ctx: ThreadContext, expected: int, new: int) -> Generator:
+        for _ in range(self.MAX_RETRIES):
+            result = yield BmRmw(
+                self.addr, RmwKind.COMPARE_AND_SWAP, operand=new, expected=expected
+            )
+            if result.afb:
+                continue
+            return result.success, result.old_value
+        raise RuntimeError(f"BM CAS on address {self.addr} exceeded retry bound")
+
+    def fetch_add(self, ctx: ThreadContext, delta: int = 1) -> Generator:
+        for _ in range(self.MAX_RETRIES):
+            result = yield BmRmw(self.addr, RmwKind.FETCH_AND_ADD, operand=delta)
+            if result.afb:
+                continue
+            return result.old_value
+        raise RuntimeError(f"BM fetch&add on address {self.addr} exceeded retry bound")
+
+    def wait_until(self, ctx: ThreadContext, predicate: Callable[[int], bool]) -> Generator:
+        value = yield BmWaitUntil(self.addr, predicate)
+        return value

@@ -1,0 +1,135 @@
+"""Lock implementations for the Table 2 configurations.
+
+* :class:`CasSpinLock` — Baseline: test-and-test-and-set style spin lock
+  built only from CAS on cached memory.
+* :class:`McsLock` — Baseline+: the queue lock of Mellor-Crummey & Scott
+  [31]; each waiter spins on its own cache line, so release traffic is
+  point-to-point.
+* :class:`WirelessLock` — WiSync: CAS on a Broadcast-Memory location with
+  AFB-based retry (Figure 4b); waiters spin on their local BM replica, so
+  spinning generates no network traffic at all.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Generator, Tuple
+
+from repro.cpu.thread import ThreadContext
+from repro.isa.operations import (
+    AtomicOp,
+    BmRmw,
+    BmStore,
+    BmWaitUntil,
+    Read,
+    RmwKind,
+    WaitUntil,
+    Write,
+)
+
+
+class Lock(ABC):
+    """Mutual exclusion over one logical lock variable."""
+
+    @abstractmethod
+    def acquire(self, ctx: ThreadContext) -> Generator:
+        """Yield ops until the lock is held by the calling thread."""
+
+    @abstractmethod
+    def release(self, ctx: ThreadContext) -> Generator:
+        """Yield ops to release the lock."""
+
+
+class CasSpinLock(Lock):
+    """Baseline lock: CAS acquire with coherence-based spinning on failure."""
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
+
+    def acquire(self, ctx: ThreadContext) -> Generator:
+        while True:
+            old, success = yield AtomicOp(
+                self.addr, RmwKind.COMPARE_AND_SWAP, operand=1, expected=0
+            )
+            if success:
+                return
+            # Lock is held: spin locally on the cached copy until it is free,
+            # then race again with CAS.
+            yield WaitUntil(self.addr, lambda value: value == 0)
+
+    def release(self, ctx: ThreadContext) -> Generator:
+        yield Write(self.addr, 0)
+
+
+class McsLock(Lock):
+    """Baseline+ lock: MCS queue lock with per-thread queue nodes.
+
+    Queue-node "pointers" are encoded as ``thread_id + 1`` (0 means null).
+    Each thread's queue node (a ``locked`` flag and a ``next`` pointer) lives
+    on its own cache line, allocated lazily through ``alloc_word``.
+    """
+
+    def __init__(self, tail_addr: int, alloc_word: Callable[[], int]) -> None:
+        self.tail_addr = tail_addr
+        self._alloc_word = alloc_word
+        self._qnodes: Dict[int, Tuple[int, int]] = {}
+
+    def _qnode(self, thread_id: int) -> Tuple[int, int]:
+        if thread_id not in self._qnodes:
+            locked_addr = self._alloc_word()
+            next_addr = self._alloc_word()
+            self._qnodes[thread_id] = (locked_addr, next_addr)
+        return self._qnodes[thread_id]
+
+    def acquire(self, ctx: ThreadContext) -> Generator:
+        locked_addr, next_addr = self._qnode(ctx.thread_id)
+        my_handle = ctx.thread_id + 1
+        yield Write(next_addr, 0)
+        yield Write(locked_addr, 1)
+        predecessor, _ = yield AtomicOp(self.tail_addr, RmwKind.SWAP, operand=my_handle)
+        if predecessor == 0:
+            return
+        pred_locked, pred_next = self._qnode(predecessor - 1)
+        yield Write(pred_next, my_handle)
+        yield WaitUntil(locked_addr, lambda value: value == 0)
+
+    def release(self, ctx: ThreadContext) -> Generator:
+        locked_addr, next_addr = self._qnode(ctx.thread_id)
+        my_handle = ctx.thread_id + 1
+        old, success = yield AtomicOp(
+            self.tail_addr, RmwKind.COMPARE_AND_SWAP, operand=0, expected=my_handle
+        )
+        if success:
+            return
+        # A successor exists (or is arriving): wait for it to link itself,
+        # then hand the lock over by clearing its locked flag.
+        successor = yield Read(next_addr)
+        if successor == 0:
+            successor = yield WaitUntil(next_addr, lambda value: value != 0)
+        succ_locked, _ = self._qnode(successor - 1)
+        yield Write(succ_locked, 0)
+
+
+class WirelessLock(Lock):
+    """WiSync lock: CAS on a BM entry, retried while the AFB is set."""
+
+    MAX_RETRIES = 10_000
+
+    def __init__(self, bm_addr: int) -> None:
+        self.bm_addr = bm_addr
+
+    def acquire(self, ctx: ThreadContext) -> Generator:
+        for _ in range(self.MAX_RETRIES):
+            result = yield BmRmw(
+                self.bm_addr, RmwKind.COMPARE_AND_SWAP, operand=1, expected=0
+            )
+            if result.afb:
+                continue
+            if result.success:
+                return
+            # Lock held: spin on the local BM replica (no wireless traffic).
+            yield BmWaitUntil(self.bm_addr, lambda value: value == 0)
+        raise RuntimeError(f"wireless lock at BM address {self.bm_addr} exceeded retry bound")
+
+    def release(self, ctx: ThreadContext) -> Generator:
+        yield BmStore(self.bm_addr, 0)

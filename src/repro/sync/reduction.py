@@ -1,0 +1,33 @@
+"""Reductions (Section 4.3.5).
+
+WiSync supports reductions with ``fetch&add`` directly on a BM entry; the
+conventional configurations perform the same update with their atomic
+hardware on cached memory.  Both are expressed through an
+:class:`~repro.sync.cells.AtomicCell`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.cpu.thread import ThreadContext
+from repro.sync.cells import AtomicCell
+
+
+class Reducer:
+    """A single shared accumulator updated with fetch&add."""
+
+    def __init__(self, cell: AtomicCell) -> None:
+        self.cell = cell
+
+    def add(self, ctx: ThreadContext, delta: int) -> Generator:
+        """Atomically add ``delta``; returns the value before the addition."""
+        old = yield from self.cell.fetch_add(ctx, delta)
+        return old
+
+    def read(self, ctx: ThreadContext) -> Generator:
+        value = yield from self.cell.read(ctx)
+        return value
+
+    def reset(self, ctx: ThreadContext) -> Generator:
+        yield from self.cell.write(ctx, 0)

@@ -1,0 +1,211 @@
+"""The shared wireless Data channel.
+
+Single-channel medium shared by every transceiver on the chip.  Transfers
+are slotted at one cycle; an ordinary message takes 5 cycles (collision
+detected and aborted after 2), a Bulk message takes 15 cycles (Section 4.1).
+Exactly one transmitter can use the channel at a time; simultaneous attempts
+collide and the colliding MACs back off.
+
+The channel is the serialization point that gives broadcast-memory writes
+their chip-wide total order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import DataChannelConfig
+from repro.errors import WirelessError
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import Tracer
+
+#: Event priority used for channel arbitration so that every transmission
+#: attempt registered for a cycle is visible before the winner is decided.
+ARBITRATION_PRIORITY = 10
+
+
+@dataclass(frozen=True)
+class WirelessMessage:
+    """One Data-channel transfer (Section 4.1 message format)."""
+
+    sender: int
+    bm_addr: int
+    value: int = 0
+    bulk: bool = False
+    tone_bit: bool = False
+    bulk_values: Tuple[int, ...] = field(default=())
+
+    def duration(self, config: DataChannelConfig) -> int:
+        """Channel occupancy of this message in cycles."""
+        return config.bulk_message_cycles if self.bulk else config.message_cycles
+
+
+@dataclass
+class _Attempt:
+    message: WirelessMessage
+    on_complete: Callable[[WirelessMessage, int], None]
+    on_collision: Callable[[WirelessMessage], int]
+    enqueued_at: int
+    cancelled: bool = False
+    started: bool = False
+
+
+class TransmissionHandle:
+    """Handle to a queued transmission, allowing the MAC to abort it.
+
+    The BM controller aborts a pending RMW broadcast when its atomicity has
+    already failed (Section 4.2.1: the instruction "neither broadcasts its
+    value nor updates the local BM").  Cancellation only succeeds while the
+    message has not yet started occupying the channel.
+    """
+
+    def __init__(self, attempt: _Attempt) -> None:
+        self._attempt = attempt
+
+    @property
+    def started(self) -> bool:
+        return self._attempt.started
+
+    @property
+    def cancelled(self) -> bool:
+        return self._attempt.cancelled
+
+    def cancel(self) -> bool:
+        """Abort the transmission; returns True if it had not started yet."""
+        if self._attempt.started:
+            return False
+        self._attempt.cancelled = True
+        return True
+
+
+class DataChannel:
+    """Event-accurate single-frequency-band data channel with collisions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DataChannelConfig,
+        stats: Optional[StatsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._busy_until: int = 0
+        self._attempts_by_cycle: Dict[int, List[_Attempt]] = {}
+        self._arbitration_scheduled: Dict[int, bool] = {}
+        self._listeners: List[Callable[[WirelessMessage, int], None]] = []
+        self.total_messages = 0
+        self.total_collisions = 0
+
+    # ------------------------------------------------------------ listeners
+    def add_listener(self, callback: Callable[[WirelessMessage, int], None]) -> None:
+        """Register a callback invoked for every successfully delivered message.
+
+        All antennas are always listening (Section 3.1), so a listener sees
+        every message regardless of sender.  The callback receives the
+        message and its delivery (completion) cycle.
+        """
+        self._listeners.append(callback)
+
+    # ------------------------------------------------------------- transmit
+    def transmit(
+        self,
+        message: WirelessMessage,
+        on_complete: Callable[[WirelessMessage, int], None],
+        on_collision: Callable[[WirelessMessage], int],
+        earliest: Optional[int] = None,
+    ) -> TransmissionHandle:
+        """Queue a transmission attempt.
+
+        ``on_complete(message, completion_cycle)`` fires when the transfer
+        succeeds; ``on_collision(message)`` is consulted on each collision
+        and must return the sender's backoff delay in cycles.  The returned
+        handle can cancel the transmission while it has not started.
+        """
+        now = self.sim.now
+        start = max(now, self._busy_until, earliest if earliest is not None else now)
+        attempt = _Attempt(
+            message=message,
+            on_complete=on_complete,
+            on_collision=on_collision,
+            enqueued_at=now,
+        )
+        self._register_attempt(start, attempt)
+        return TransmissionHandle(attempt)
+
+    def busy_until(self) -> int:
+        """Earliest cycle the channel is currently expected to be free."""
+        return self._busy_until
+
+    # --------------------------------------------------------------- internal
+    def _register_attempt(self, cycle: int, attempt: _Attempt) -> None:
+        if cycle < self.sim.now:
+            raise WirelessError("attempt registered in the past")
+        self._attempts_by_cycle.setdefault(cycle, []).append(attempt)
+        if not self._arbitration_scheduled.get(cycle):
+            self._arbitration_scheduled[cycle] = True
+            self.sim.schedule_at(cycle, self._arbitrate, cycle, priority=ARBITRATION_PRIORITY)
+
+    def _arbitrate(self, cycle: int) -> None:
+        attempts = self._attempts_by_cycle.pop(cycle, [])
+        self._arbitration_scheduled.pop(cycle, None)
+        attempts = [attempt for attempt in attempts if not attempt.cancelled]
+        if not attempts:
+            return
+        if cycle < self._busy_until:
+            # The channel became busy after these attempts were queued
+            # (another sender won an earlier slot); re-queue at the next
+            # expected-free cycle, as the MAC does (Section 4.1).  Attempts
+            # that targeted different original slots keep their relative
+            # order (slot-granular deference), so a deferred sender does not
+            # lose the spreading its earlier backoff achieved.
+            for index, attempt in enumerate(attempts):
+                self._register_attempt(self._busy_until + index, attempt)
+            return
+        if len(attempts) == 1:
+            self._deliver(cycle, attempts[0])
+            return
+        self._collide(cycle, attempts)
+
+    def _deliver(self, cycle: int, attempt: _Attempt) -> None:
+        attempt.started = True
+        duration = attempt.message.duration(self.config)
+        completion = cycle + duration
+        self._busy_until = completion
+        self.total_messages += 1
+        self.stats.counter("wireless/messages").add()
+        self.stats.utilization("wireless/data_channel").add_busy(duration)
+        self.stats.histogram("wireless/transfer_latency").record(completion - attempt.enqueued_at)
+        self.tracer.emit(
+            cycle,
+            f"node{attempt.message.sender}",
+            "wireless.send",
+            f"addr={attempt.message.bm_addr} bulk={attempt.message.bulk} tone={attempt.message.tone_bit}",
+        )
+        self.sim.schedule_at(completion, self._complete, attempt, completion)
+
+    def _complete(self, attempt: _Attempt, completion: int) -> None:
+        attempt.on_complete(attempt.message, completion)
+        for listener in self._listeners:
+            listener(attempt.message, completion)
+
+    def _collide(self, cycle: int, attempts: Sequence[_Attempt]) -> None:
+        penalty = self.config.collision_penalty_cycles
+        free_at = cycle + penalty
+        self._busy_until = max(self._busy_until, free_at)
+        self.total_collisions += 1
+        self.stats.counter("wireless/collisions").add()
+        self.stats.utilization("wireless/data_channel").add_busy(penalty)
+        self.tracer.emit(cycle, "channel", "wireless.collision", f"senders={len(attempts)}")
+        for attempt in attempts:
+            backoff = attempt.on_collision(attempt.message)
+            if backoff < 0:
+                raise WirelessError("backoff must be non-negative")
+            # The retry slot is relative to the end of the collision window;
+            # if the channel is busy again by then, the arbitration of that
+            # slot defers the attempt while preserving its backoff offset.
+            self._register_attempt(free_at + backoff, attempt)

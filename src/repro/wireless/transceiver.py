@@ -1,0 +1,170 @@
+"""Per-node wireless transceiver: PHY serialization plus the MAC.
+
+The MAC decides when a write is sent on the Data channel, detects collisions
+(reported back by the channel), runs the backoff policy, and retries until
+the transfer succeeds (Section 3.2).  A node has at most one broadcast store
+in flight at a time — subsequent stores from the same core wait until the
+current one has performed globally (Section 4.2.1) — so the transceiver
+keeps a small FIFO of pending transmissions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.config import DataChannelConfig
+from repro.sim.stats import StatsRegistry
+from repro.wireless.backoff import BackoffPolicy
+from repro.wireless.channel import DataChannel, TransmissionHandle, WirelessMessage
+
+
+@dataclass
+class _PendingSend:
+    message: WirelessMessage
+    on_complete: Callable[[WirelessMessage, int], None]
+    handle: Optional[TransmissionHandle] = None
+    done: bool = False
+
+
+class SendTicket:
+    """Handle to a queued or in-flight transceiver send, allowing aborts.
+
+    Used by the BM controller to abort an RMW's broadcast once its atomicity
+    has failed, so the stale value never occupies the Data channel.
+    """
+
+    def __init__(self, transceiver: "Transceiver", pending: _PendingSend) -> None:
+        self._transceiver = transceiver
+        self._pending = pending
+
+    def cancel(self) -> bool:
+        """Abort the send; returns True if nothing was (or will be) transmitted."""
+        return self._transceiver._cancel(self._pending)
+
+
+class Transceiver:
+    """MAC front end of one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        channel: DataChannel,
+        backoff: BackoffPolicy,
+        config: DataChannelConfig,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.channel = channel
+        self.backoff = backoff
+        self.config = config
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._queue: Deque[_PendingSend] = deque()
+        self._in_flight: Optional[_PendingSend] = None
+        self.sent_messages = 0
+        self.collisions_seen = 0
+        # Every antenna hears every transfer; observed successes relax the
+        # contention window (Section 5.3's decrement rule on a broadcast medium).
+        self.channel.add_listener(self._on_observed_message)
+
+    # ---------------------------------------------------------------- sends
+    def send_store(
+        self,
+        bm_addr: int,
+        value: int,
+        on_complete: Callable[[WirelessMessage, int], None],
+    ) -> SendTicket:
+        """Broadcast a single-word BM store."""
+        message = WirelessMessage(sender=self.node_id, bm_addr=bm_addr, value=value)
+        return self._enqueue(_PendingSend(message, on_complete))
+
+    def send_bulk_store(
+        self,
+        bm_addr: int,
+        values: Tuple[int, int, int, int],
+        on_complete: Callable[[WirelessMessage, int], None],
+    ) -> SendTicket:
+        """Broadcast a Bulk store of four consecutive BM entries (15 cycles)."""
+        message = WirelessMessage(
+            sender=self.node_id,
+            bm_addr=bm_addr,
+            value=values[0],
+            bulk=True,
+            bulk_values=tuple(values),
+        )
+        return self._enqueue(_PendingSend(message, on_complete))
+
+    def send_tone_init(
+        self,
+        bm_addr: int,
+        on_complete: Callable[[WirelessMessage, int], None],
+    ) -> SendTicket:
+        """Send the Data-channel message with the Tone bit set.
+
+        The first core to arrive at a tone barrier announces it this way
+        (Section 4.2.2); the 64-bit data field is immaterial.
+        """
+        message = WirelessMessage(sender=self.node_id, bm_addr=bm_addr, value=0, tone_bit=True)
+        return self._enqueue(_PendingSend(message, on_complete))
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue) + (1 if self._in_flight is not None else 0)
+
+    # ------------------------------------------------------------- internals
+    def _enqueue(self, pending: _PendingSend) -> SendTicket:
+        self._queue.append(pending)
+        self._pump()
+        return SendTicket(self, pending)
+
+    def _pump(self) -> None:
+        if self._in_flight is not None or not self._queue:
+            return
+        pending = self._queue.popleft()
+        self._in_flight = pending
+        # Under observed contention the MAC spreads even fresh transmissions
+        # over its backoff window instead of piling onto the next free slot.
+        deferral = self.backoff.deferral()
+        earliest = self.channel.sim.now + deferral if deferral > 0 else None
+        pending.handle = self.channel.transmit(
+            pending.message,
+            on_complete=lambda message, cycle, _p=pending: self._on_complete(_p, message, cycle),
+            on_collision=self._on_collision,
+            earliest=earliest,
+        )
+
+    def _cancel(self, pending: _PendingSend) -> bool:
+        if pending.done:
+            return False
+        if pending in self._queue:
+            self._queue.remove(pending)
+            pending.done = True
+            return True
+        if self._in_flight is pending:
+            assert pending.handle is not None
+            if pending.handle.cancel():
+                pending.done = True
+                self._in_flight = None
+                self._pump()
+                return True
+            return False
+        return False
+
+    def _on_complete(self, pending: _PendingSend, message: WirelessMessage, cycle: int) -> None:
+        pending.done = True
+        self._in_flight = None
+        self.sent_messages += 1
+        self.backoff.on_success()
+        self.stats.counter(f"transceiver/{self.node_id}/sent").add()
+        pending.on_complete(message, cycle)
+        self._pump()
+
+    def _on_collision(self, message: WirelessMessage) -> int:
+        self.collisions_seen += 1
+        self.stats.counter(f"transceiver/{self.node_id}/collisions").add()
+        return self.backoff.on_collision()
+
+    def _on_observed_message(self, message: WirelessMessage, cycle: int) -> None:
+        if message.sender != self.node_id:
+            self.backoff.on_observed_success()

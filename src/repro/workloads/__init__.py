@@ -1,0 +1,37 @@
+"""Workloads used in the paper's evaluation (Table 3).
+
+* Barrier kernels: TightLoop and Livermore loops 2, 3, 6.
+* CAS kernels: FIFO, LIFO, ADD lock-free structures.
+* Application suites: synthetic proxies of SPLASH-2 and PARSEC calibrated to
+  each application's synchronization profile (see DESIGN.md substitution 2).
+
+Every workload is a *builder*: it takes a :class:`~repro.machine.manycore.Manycore`,
+registers a program and its threads, and returns a small handle describing
+what to measure.
+"""
+
+from repro.workloads.base import WorkloadHandle
+from repro.workloads.cas_kernels import CasKernelKind, build_cas_kernel
+from repro.workloads.livermore import LivermoreLoop, build_livermore_loop
+from repro.workloads.synthetic_apps import (
+    APPLICATION_PROFILES,
+    AppProfile,
+    application_names,
+    build_application,
+    profile_by_name,
+)
+from repro.workloads.tightloop import build_tightloop
+
+__all__ = [
+    "WorkloadHandle",
+    "build_tightloop",
+    "LivermoreLoop",
+    "build_livermore_loop",
+    "CasKernelKind",
+    "build_cas_kernel",
+    "AppProfile",
+    "APPLICATION_PROFILES",
+    "application_names",
+    "profile_by_name",
+    "build_application",
+]

@@ -1,0 +1,33 @@
+"""Common plumbing for workload builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.machine.manycore import Manycore, Program
+from repro.machine.results import SimResult
+
+
+@dataclass
+class WorkloadHandle:
+    """What a workload builder hands back to the experiment harness.
+
+    ``metadata`` carries workload-specific quantities the experiment needs to
+    normalize results (e.g. iterations per thread, total expected operations).
+    """
+
+    name: str
+    machine: Manycore
+    program: Program
+    num_threads: int
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def run(self, max_cycles: Optional[int] = None) -> SimResult:
+        """Run the machine and return its result."""
+        return self.machine.run(max_cycles=max_cycles)
+
+    def cycles_per_iteration(self, result: SimResult) -> float:
+        """Total cycles divided by the workload's iteration count."""
+        iterations = self.metadata.get("iterations", 1) or 1
+        return result.total_cycles / iterations

@@ -1,0 +1,112 @@
+"""CAS kernels on lock-free data structures (Section 6, Figure 9).
+
+Three kernels exercise compare-and-swap on shared lock-free structures:
+
+* **ADD** — threads insert nodes taken from their private pools into a shared
+  queue with a CAS on the tail pointer.
+* **FIFO** — threads alternately enqueue (CAS on tail) and dequeue (CAS on
+  head) nodes of a shared queue.
+* **LIFO** — threads alternately push and pop on a shared stack (CAS on the
+  top pointer).
+
+Between consecutive CAS operations each thread executes a configurable
+number of instructions (the "critical section size" on Figure 9's x-axis).
+The kernels report the number of *successful* CAS operations, from which the
+experiment computes throughput per 1000 cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.isa.operations import Compute, Read, Write
+from repro.machine.manycore import Manycore
+from repro.sync.api import SyncFactory
+from repro.sync.cells import AtomicCell
+from repro.workloads.base import WorkloadHandle
+
+
+class CasKernelKind(enum.Enum):
+    """The three lock-free kernels of Figure 9."""
+
+    FIFO = "fifo"
+    LIFO = "lifo"
+    ADD = "add"
+
+
+def _instructions_to_cycles(instructions: int, issue_width: int) -> int:
+    """Instructions between CASes converted to cycles on the issue width."""
+    return max(1, instructions // max(1, issue_width))
+
+
+def _cas_insert(ctx, cell: AtomicCell, node_value: int):
+    """One successful lock-free insertion: read the pointer, CAS it forward."""
+    attempts = 0
+    while True:
+        attempts += 1
+        current = yield from cell.read(ctx)
+        success, _ = yield from cell.cas(ctx, expected=current, new=node_value)
+        if success:
+            return attempts
+
+
+def build_cas_kernel(
+    machine: Manycore,
+    kind: CasKernelKind,
+    critical_section_instructions: int,
+    successes_per_thread: int = 8,
+    num_threads: Optional[int] = None,
+) -> WorkloadHandle:
+    """Register a CAS kernel on ``machine``."""
+    kind = CasKernelKind(kind)
+    if num_threads is None:
+        num_threads = machine.config.num_cores
+    program = machine.new_program(f"cas-{kind.value}")
+    sync = SyncFactory(program)
+    # Shared structure pointers.  FIFO uses separate head and tail pointers;
+    # LIFO and ADD use one pointer.
+    tail_cell = sync.create_cell()
+    head_cell = sync.create_cell() if kind is CasKernelKind.FIFO else tail_cell
+    think_cycles = _instructions_to_cycles(
+        critical_section_instructions, machine.config.core.issue_width
+    )
+
+    def body(ctx):
+        pool_base = program.private_addr(ctx.thread_id)
+        successes = 0
+        operation_index = 0
+        while successes < successes_per_thread:
+            # Work between accesses to the shared structure.
+            yield Compute(think_cycles)
+            # Prepare the node in the private pool (one line touched).
+            node_addr = pool_base + (operation_index % 64) * 8
+            yield Write(node_addr, ctx.thread_id + 1)
+            node_value = ctx.thread_id * 1000 + operation_index + 1
+            if kind is CasKernelKind.ADD:
+                yield from _cas_insert(ctx, tail_cell, node_value)
+            elif kind is CasKernelKind.LIFO:
+                # Alternate push / pop on the same top pointer.
+                yield from _cas_insert(ctx, tail_cell, node_value)
+            else:  # FIFO: alternate enqueue on tail and dequeue from head.
+                target = tail_cell if operation_index % 2 == 0 else head_cell
+                yield from _cas_insert(ctx, target, node_value)
+            # Touch the node again (dequeue/pop reads it back).
+            yield Read(node_addr)
+            successes += 1
+            operation_index += 1
+        return successes
+
+    for _ in range(num_threads):
+        program.add_thread(body)
+    return WorkloadHandle(
+        name=f"cas-{kind.value}",
+        machine=machine,
+        program=program,
+        num_threads=num_threads,
+        metadata={
+            "iterations": successes_per_thread,
+            "critical_section_instructions": critical_section_instructions,
+            "total_successes": successes_per_thread * num_threads,
+        },
+    )

@@ -1,0 +1,125 @@
+"""Parallelized Livermore loops 2, 3, and 6 (Section 6, Figure 8).
+
+Sampson et al. [37] identify these three loops as the representative ones
+with regard to synchronization; the paper parallelizes them with barriers and
+sweeps the vector length.  The proxies here reproduce each loop's
+synchronization structure:
+
+* **Loop 2** (incomplete Cholesky conjugate gradient fragment): a series of
+  passes over the vector in which the active portion halves every pass, with
+  a barrier after each pass — many barriers with shrinking work, which is why
+  it is the most barrier-sensitive of the three.
+* **Loop 3** (inner product): each thread reduces its chunk, adds the partial
+  sum into a shared accumulator, and synchronizes in one barrier per
+  repetition.
+* **Loop 6** (general linear recurrence): outer steps of growing work, each
+  terminated by a barrier — a large loop body relative to the barrier cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.isa.operations import Compute, Read
+from repro.machine.manycore import Manycore
+from repro.sync.api import SyncFactory
+from repro.workloads.base import WorkloadHandle
+
+#: Cycles of floating-point work charged per vector element processed.
+CYCLES_PER_ELEMENT = {2: 4, 3: 2, 6: 2}
+#: Cap on the number of simulated outer steps of Loop 6.  The paper runs the
+#: full recurrence; simulating thousands of barriers per point is unnecessary
+#: for the trends, so longer vectors sample the recurrence and scale the work.
+LOOP6_MAX_STEPS = 48
+
+
+class LivermoreLoop(enum.IntEnum):
+    """The three Livermore loops the paper evaluates."""
+
+    ICCG = 2
+    INNER_PRODUCT = 3
+    LINEAR_RECURRENCE = 6
+
+
+def build_livermore_loop(
+    machine: Manycore,
+    loop: LivermoreLoop,
+    vector_length: int,
+    repetitions: int = 2,
+    num_threads: Optional[int] = None,
+) -> WorkloadHandle:
+    """Register the chosen Livermore loop on ``machine``."""
+    loop = LivermoreLoop(loop)
+    if vector_length < 1:
+        raise WorkloadError("vector length must be positive")
+    if num_threads is None:
+        num_threads = machine.config.num_cores
+    program = machine.new_program(f"livermore{int(loop)}")
+    sync = SyncFactory(program)
+    barrier = sync.create_barrier(num_threads)
+    reducer = sync.create_reducer()
+    line_bytes = machine.config.cache.line_bytes
+    per_element = CYCLES_PER_ELEMENT[int(loop)]
+
+    def chunk_phase(ctx, elements: int):
+        """Process ``elements`` vector elements owned by this thread."""
+        share = max(0, elements // num_threads)
+        if ctx.thread_id < elements % num_threads:
+            share += 1
+        if share == 0:
+            return
+        base = program.private_addr(ctx.thread_id, offset_words=1024)
+        lines = max(1, (share * 8 + line_bytes - 1) // line_bytes)
+        for line_index in range(min(lines, 64)):
+            yield Read(base + line_index * line_bytes)
+        yield Compute(share * per_element)
+
+    def loop2_body(ctx):
+        for _ in range(repetitions):
+            active = vector_length
+            while active >= 1:
+                yield from chunk_phase(ctx, active)
+                yield from barrier.wait(ctx)
+                if active == 1:
+                    break
+                active //= 2
+        return 0
+
+    def loop3_body(ctx):
+        for _ in range(repetitions):
+            yield from chunk_phase(ctx, vector_length)
+            yield from reducer.add(ctx, 1)
+            yield from barrier.wait(ctx)
+        return 0
+
+    def loop6_body(ctx):
+        steps = min(vector_length, LOOP6_MAX_STEPS)
+        elements_per_step = max(1, vector_length // steps)
+        for _ in range(repetitions):
+            for step in range(1, steps + 1):
+                # The recurrence's inner work grows with the step index.
+                yield from chunk_phase(ctx, step * elements_per_step)
+                yield from barrier.wait(ctx)
+        return 0
+
+    bodies = {
+        LivermoreLoop.ICCG: loop2_body,
+        LivermoreLoop.INNER_PRODUCT: loop3_body,
+        LivermoreLoop.LINEAR_RECURRENCE: loop6_body,
+    }
+    body = bodies[loop]
+    for _ in range(num_threads):
+        program.add_thread(body)
+    return WorkloadHandle(
+        name=f"livermore-loop{int(loop)}",
+        machine=machine,
+        program=program,
+        num_threads=num_threads,
+        metadata={
+            "iterations": repetitions,
+            "vector_length": vector_length,
+            "loop": int(loop),
+        },
+    )

@@ -1,0 +1,61 @@
+"""TightLoop barrier kernel (Section 6).
+
+Each thread adds up the contents of a 50-element private array into a local
+variable and then synchronizes in a barrier; the process repeats in a loop.
+This is the paper's most demanding barrier environment and the workload
+behind Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.operations import Compute, Read
+from repro.machine.manycore import Manycore
+from repro.sync.api import SyncFactory
+from repro.workloads.base import WorkloadHandle
+
+#: Elements in each thread's private array (from the paper's description).
+ARRAY_ELEMENTS = 50
+#: Cycles of arithmetic per element on the 2-issue core (load-add chain).
+CYCLES_PER_ELEMENT = 1
+
+
+def build_tightloop(
+    machine: Manycore,
+    iterations: int = 10,
+    num_threads: Optional[int] = None,
+    array_elements: int = ARRAY_ELEMENTS,
+) -> WorkloadHandle:
+    """Register the TightLoop kernel on ``machine`` and return its handle."""
+    if num_threads is None:
+        num_threads = machine.config.num_cores
+    program = machine.new_program("tightloop")
+    sync = SyncFactory(program)
+    barrier = sync.create_barrier(num_threads)
+    line_bytes = machine.config.cache.line_bytes
+    lines_touched = max(1, (array_elements * 8 + line_bytes - 1) // line_bytes)
+
+    def body(ctx):
+        base = program.private_addr(ctx.thread_id)
+        checksum = 0
+        for _ in range(iterations):
+            # Walk the private array line by line (it stays L1-resident after
+            # the first iteration) and charge one cycle of arithmetic per
+            # element.
+            for line_index in range(lines_touched):
+                value = yield Read(base + line_index * line_bytes)
+                checksum += value
+            yield Compute(array_elements * CYCLES_PER_ELEMENT)
+            yield from barrier.wait(ctx)
+        return checksum
+
+    for _ in range(num_threads):
+        program.add_thread(body)
+    return WorkloadHandle(
+        name="tightloop",
+        machine=machine,
+        program=program,
+        num_threads=num_threads,
+        metadata={"iterations": iterations, "array_elements": array_elements},
+    )

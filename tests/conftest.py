@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig, default_machine_config
+from repro.machine.configs import baseline, baseline_plus, wisync, wisync_not
+from repro.machine.manycore import Manycore
+from repro.sim.engine import Simulator
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import StatsRegistry
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def stats() -> StatsRegistry:
+    return StatsRegistry()
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    return DeterministicRng(42, "test")
+
+
+@pytest.fixture
+def small_config() -> MachineConfig:
+    return default_machine_config(num_cores=8)
+
+
+@pytest.fixture
+def wisync_machine() -> Manycore:
+    return Manycore(wisync(num_cores=8))
+
+
+@pytest.fixture
+def baseline_machine() -> Manycore:
+    return Manycore(baseline(num_cores=8))
+
+
+CONFIG_BUILDERS = {
+    "baseline": baseline,
+    "baseline+": baseline_plus,
+    "wisync-not": wisync_not,
+    "wisync": wisync,
+}
+
+
+@pytest.fixture(params=list(CONFIG_BUILDERS))
+def any_machine(request) -> Manycore:
+    """A small machine of each Table 2 configuration."""
+    return Manycore(CONFIG_BUILDERS[request.param](num_cores=8))

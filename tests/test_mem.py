@@ -1,0 +1,271 @@
+"""Tests for the cache hierarchy, directory coherence, and DRAM models."""
+
+import pytest
+
+from repro.config import CacheConfig, MemoryConfig, default_machine_config
+from repro.isa.operations import RmwKind
+from repro.mem.address import AddressMap
+from repro.mem.cache import CacheArray
+from repro.mem.directory import Directory, LineState
+from repro.mem.dram import DramModel
+from repro.mem.hierarchy import MemorySystem, apply_rmw
+from repro.noc.mesh import MeshNetwork
+from repro.noc.topology import MeshTopology
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+
+
+class TestAddressMap:
+    def _map(self, cores=8):
+        return AddressMap(CacheConfig(), MemoryConfig(), cores)
+
+    def test_line_of_groups_words(self):
+        amap = self._map()
+        assert amap.line_of(0) == amap.line_of(63)
+        assert amap.line_of(64) == amap.line_of(0) + 1
+
+    def test_word_alignment(self):
+        amap = self._map()
+        assert amap.word_of(13) == 8
+        assert amap.word_of(16) == 16
+
+    def test_home_bank_interleaves_across_cores(self):
+        amap = self._map(cores=4)
+        homes = {amap.home_bank(line * 64) for line in range(16)}
+        assert homes == {0, 1, 2, 3}
+
+    def test_same_line_check(self):
+        amap = self._map()
+        assert amap.same_line(0, 56)
+        assert not amap.same_line(0, 64)
+
+    def test_memory_controller_range(self):
+        amap = self._map()
+        for addr in range(0, 4096, 64):
+            assert 0 <= amap.memory_controller(addr) < 4
+
+
+class TestCacheArray:
+    def test_miss_then_hit(self):
+        cache = CacheArray(num_sets=4, associativity=2, line_bytes=64)
+        assert not cache.lookup(10)
+        cache.fill(10)
+        assert cache.lookup(10)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = CacheArray(num_sets=1, associativity=2, line_bytes=64)
+        cache.fill(1)
+        cache.fill(2)
+        cache.lookup(1)          # 1 becomes MRU
+        victim = cache.fill(3)
+        assert victim == 2
+        assert cache.contains(1) and cache.contains(3) and not cache.contains(2)
+
+    def test_fill_existing_line_no_eviction(self):
+        cache = CacheArray(num_sets=1, associativity=1, line_bytes=64)
+        cache.fill(5)
+        assert cache.fill(5) is None
+
+    def test_invalidate(self):
+        cache = CacheArray(num_sets=2, associativity=2, line_bytes=64)
+        cache.fill(7)
+        assert cache.invalidate(7)
+        assert not cache.invalidate(7)
+        assert not cache.contains(7)
+
+    def test_occupancy_and_hit_rate(self):
+        cache = CacheArray(num_sets=4, associativity=2, line_bytes=64)
+        cache.fill(1)
+        cache.fill(2)
+        cache.lookup(1)
+        cache.lookup(99)
+        assert cache.occupancy == 2
+        assert cache.hit_rate == 0.5
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheArray(num_sets=0, associativity=2, line_bytes=64)
+
+
+class TestDirectory:
+    def test_read_creates_shared_state(self):
+        directory = Directory()
+        entry = directory.record_read(1, core=3)
+        assert entry.state is LineState.SHARED
+        assert 3 in entry.sharers
+
+    def test_write_invalidate_targets(self):
+        directory = Directory()
+        directory.record_read(1, 0)
+        directory.record_read(1, 1)
+        directory.record_read(1, 2)
+        targets = directory.invalidation_targets(1, requester=2)
+        assert targets == {0, 1}
+
+    def test_write_takes_exclusive_ownership(self):
+        directory = Directory()
+        directory.record_read(1, 0)
+        entry = directory.record_write(1, 5)
+        assert entry.state is LineState.MODIFIED
+        assert entry.owner == 5
+        assert entry.sharers == set()
+
+    def test_read_after_write_downgrades_owner(self):
+        directory = Directory()
+        directory.record_write(1, 5)
+        entry = directory.record_read(1, 2)
+        assert entry.state is LineState.SHARED
+        assert entry.owner is None
+        assert {2, 5} <= entry.sharers
+
+    def test_evict_clears_owner(self):
+        directory = Directory()
+        directory.record_write(1, 5)
+        directory.evict(1, 5)
+        assert directory.entry(1).state is not LineState.MODIFIED
+
+    def test_sharer_count(self):
+        directory = Directory()
+        assert directory.sharer_count(9) == 0
+        directory.record_read(9, 0)
+        directory.record_read(9, 1)
+        assert directory.sharer_count(9) == 2
+
+
+class TestDram:
+    def test_round_trip_latency(self):
+        dram = DramModel(MemoryConfig(), StatsRegistry())
+        assert dram.access(0, 0) == 110
+
+    def test_controller_serialization(self):
+        dram = DramModel(MemoryConfig(), StatsRegistry())
+        first = dram.access(0, 1)
+        second = dram.access(0, 1)
+        assert second == first + DramModel.CONTROLLER_OCCUPANCY
+
+    def test_different_controllers_do_not_serialize(self):
+        dram = DramModel(MemoryConfig(), StatsRegistry())
+        assert dram.access(0, 0) == dram.access(0, 1)
+
+
+def make_memory(cores=8):
+    config = default_machine_config(cores)
+    sim = Simulator()
+    stats = StatsRegistry()
+    mesh = MeshNetwork(MeshTopology.square_for(cores), config.noc, stats)
+    return sim, MemorySystem(sim, config, mesh, stats)
+
+
+class TestMemorySystem:
+    def test_first_read_misses_to_dram(self):
+        sim, mem = make_memory()
+        value, completion = mem.read(0, 0x1000)
+        assert value == 0
+        assert completion >= 110
+
+    def test_second_read_is_l1_hit(self):
+        sim, mem = make_memory()
+        mem.read(0, 0x1000)
+        _, completion = mem.read(0, 0x1000)
+        assert completion == sim.now + 2
+
+    def test_write_then_read_returns_value(self):
+        sim, mem = make_memory()
+        mem.write(0, 0x2000, 77)
+        value, _ = mem.read(0, 0x2000)
+        assert value == 77
+        assert mem.peek(0x2000) == 77
+
+    def test_write_hit_after_ownership(self):
+        sim, mem = make_memory()
+        mem.write(0, 0x2000, 1)
+        completion = mem.write(0, 0x2000, 2)
+        assert completion == sim.now + 2
+
+    def test_remote_read_after_write_forwards_from_owner(self):
+        sim, mem = make_memory()
+        mem.write(0, 0x3000, 5)
+        value, completion = mem.read(1, 0x3000)
+        assert value == 5
+        assert completion > 2
+        assert mem.stats.counter_value("mem/owner_forwards") >= 1
+
+    def test_write_invalidates_readers(self):
+        sim, mem = make_memory()
+        for core in range(4):
+            mem.read(core, 0x4000)
+        mem.write(5, 0x4000, 9)
+        assert mem.stats.counter_value("mem/invalidations") >= 4
+        # The previous readers lost their copies.
+        for core in range(4):
+            assert not mem.l1_cache(core).contains(0x4000 // 64)
+
+    @pytest.mark.parametrize(
+        "kind,operand,expected,old,new,success",
+        [
+            (RmwKind.TEST_AND_SET, 0, 0, 0, 1, True),
+            (RmwKind.FETCH_AND_INC, 0, 0, 4, 5, True),
+            (RmwKind.FETCH_AND_ADD, 10, 0, 4, 14, True),
+            (RmwKind.SWAP, 99, 0, 4, 99, True),
+            (RmwKind.COMPARE_AND_SWAP, 7, 4, 4, 7, True),
+            (RmwKind.COMPARE_AND_SWAP, 7, 3, 4, 4, False),
+        ],
+    )
+    def test_apply_rmw_semantics(self, kind, operand, expected, old, new, success):
+        result_new, result_success = apply_rmw(kind, old, operand, expected)
+        assert result_new == new
+        assert result_success == success
+
+    def test_atomic_cas_success_and_failure(self):
+        sim, mem = make_memory()
+        mem.poke(0x5000, 3)
+        old, success, _ = mem.atomic(0, 0x5000, RmwKind.COMPARE_AND_SWAP, operand=9, expected=3)
+        assert (old, success) == (3, True)
+        assert mem.peek(0x5000) == 9
+        old, success, _ = mem.atomic(1, 0x5000, RmwKind.COMPARE_AND_SWAP, operand=5, expected=3)
+        assert (old, success) == (9, False)
+        assert mem.peek(0x5000) == 9
+
+    def test_contended_atomics_serialize_at_line(self):
+        sim, mem = make_memory()
+        mem.poke(0x6000, 0)
+        completions = [mem.atomic(core, 0x6000, RmwKind.FETCH_AND_INC)[2] for core in range(6)]
+        assert completions == sorted(completions)
+        assert len(set(completions)) == len(completions)
+        assert mem.peek(0x6000) == 6
+
+    def test_wait_until_already_satisfied(self):
+        sim, mem = make_memory()
+        mem.poke(0x7000, 1)
+        woken = []
+        mem.wait_until(0, 0x7000, lambda v: v == 1, woken.append)
+        sim.run()
+        assert woken == [1]
+
+    def test_wait_until_woken_by_write(self):
+        sim, mem = make_memory()
+        woken = []
+        mem.wait_until(0, 0x8000, lambda v: v == 5, woken.append)
+        assert mem.waiter_count(0x8000) == 1
+        mem.write(1, 0x8000, 4)   # does not satisfy
+        mem.write(1, 0x8000, 5)   # satisfies
+        sim.run()
+        assert woken == [5]
+        assert mem.waiter_count(0x8000) == 0
+
+    def test_many_waiters_wake_serialized(self):
+        sim, mem = make_memory()
+        wake_times = {}
+        for core in range(6):
+            mem.wait_until(core, 0x9000, lambda v: v == 1,
+                           lambda v, c=core: wake_times.setdefault(c, sim.now))
+        mem.write(7, 0x9000, 1)
+        sim.run()
+        assert len(wake_times) == 6
+        assert len(set(wake_times.values())) > 1  # refills serialize, not simultaneous
+
+    def test_out_of_range_core_rejected(self):
+        sim, mem = make_memory(cores=4)
+        with pytest.raises(Exception):
+            mem.read(9, 0x100)

@@ -1,0 +1,112 @@
+"""Tests for the OS model: processes, scheduling, migration restrictions."""
+
+import pytest
+
+from repro.errors import ReproError, ToneBarrierError
+from repro.osmodel.process import ProcessTable
+from repro.osmodel.scheduler import Scheduler
+
+
+class TestProcessTable:
+    def test_spawn_assigns_increasing_pids(self):
+        table = ProcessTable()
+        first = table.spawn("a")
+        second = table.spawn("b")
+        assert second.pid == first.pid + 1
+        assert len(table) == 2
+
+    def test_get_and_exists(self):
+        table = ProcessTable()
+        process = table.spawn("a")
+        assert table.exists(process.pid)
+        assert table.get(process.pid) is process
+        assert not table.exists(999)
+        with pytest.raises(ReproError):
+            table.get(999)
+
+    def test_terminate_marks_dead(self):
+        table = ProcessTable()
+        process = table.spawn("a")
+        table.terminate(process.pid)
+        assert not process.alive
+        assert table.live_processes() == []
+
+    def test_pid_space_exhaustion(self):
+        table = ProcessTable(max_pid=2)
+        table.spawn("a")
+        table.spawn("b")
+        with pytest.raises(ReproError):
+            table.spawn("c")
+
+    def test_thread_and_allocation_bookkeeping(self):
+        table = ProcessTable()
+        process = table.spawn("a")
+        process.add_thread(3)
+        process.record_allocation(17)
+        assert process.thread_ids == [3]
+        assert process.bm_allocations == [17]
+
+
+class TestScheduler:
+    def test_round_robin_placement_balances_load(self):
+        scheduler = Scheduler(num_cores=4)
+        cores = [scheduler.place(tid, pid=1).core_id for tid in range(8)]
+        assert sorted(cores) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_explicit_placement(self):
+        scheduler = Scheduler(num_cores=4)
+        placement = scheduler.place(0, pid=1, core_id=3)
+        assert placement.core_id == 3
+        assert scheduler.threads_on(3) == [0]
+
+    def test_out_of_range_core_rejected(self):
+        scheduler = Scheduler(num_cores=2)
+        with pytest.raises(ValueError):
+            scheduler.place(0, pid=1, core_id=7)
+
+    def test_preempt_and_resume(self):
+        scheduler = Scheduler(num_cores=2)
+        scheduler.place(0, pid=1)
+        scheduler.preempt(0)
+        assert scheduler.placement(0).preempted
+        scheduler.resume(0)
+        assert not scheduler.placement(0).preempted
+        assert scheduler.preemptions == 1
+
+    def test_migration_allowed_without_tone_barriers(self):
+        scheduler = Scheduler(num_cores=4)
+        scheduler.place(0, pid=1, core_id=0)
+        assert scheduler.can_migrate(0)
+        placement = scheduler.migrate(0, 3)
+        assert placement.core_id == 3
+        assert scheduler.migrations == 1
+
+    def test_tone_barrier_participation_blocks_migration(self):
+        scheduler = Scheduler(num_cores=4)
+        scheduler.place(0, pid=1, core_id=0)
+        scheduler.register_tone_barrier(0, bm_addr=5)
+        assert not scheduler.can_migrate(0)
+        with pytest.raises(ToneBarrierError):
+            scheduler.migrate(0, 1)
+
+    def test_two_threads_on_same_core_cannot_share_tone_barrier(self):
+        scheduler = Scheduler(num_cores=2)
+        scheduler.place(0, pid=1, core_id=0)
+        scheduler.place(1, pid=1, core_id=0)
+        scheduler.register_tone_barrier(0, bm_addr=5)
+        with pytest.raises(ToneBarrierError):
+            scheduler.register_tone_barrier(1, bm_addr=5)
+
+    def test_same_tone_barrier_on_different_cores_is_fine(self):
+        scheduler = Scheduler(num_cores=2)
+        scheduler.place(0, pid=1, core_id=0)
+        scheduler.place(1, pid=1, core_id=1)
+        scheduler.register_tone_barrier(0, bm_addr=5)
+        scheduler.register_tone_barrier(1, bm_addr=5)
+        assert not scheduler.can_migrate(0)
+
+    def test_migrate_to_invalid_core_rejected(self):
+        scheduler = Scheduler(num_cores=2)
+        scheduler.place(0, pid=1)
+        with pytest.raises(ValueError):
+            scheduler.migrate(0, 9)

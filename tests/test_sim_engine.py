@@ -1,0 +1,320 @@
+"""Tests for the discrete-event engine, RNG, statistics, and tracing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import SimProcess, Timeout, WaitCondition
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    StatsRegistry,
+    UtilizationTracker,
+    arithmetic_mean,
+    geometric_mean,
+)
+from repro.sim.trace import Tracer
+
+
+class TestSimulator:
+    def test_time_starts_at_zero(self, sim):
+        assert sim.now == 0
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(10, order.append, "b")
+        sim.schedule(5, order.append, "a")
+        sim.schedule(20, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_cycle_events_fire_in_schedule_order(self, sim):
+        order = []
+        sim.schedule(5, order.append, 1)
+        sim.schedule(5, order.append, 2)
+        sim.schedule(5, order.append, 3)
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_priority_orders_within_cycle(self, sim):
+        order = []
+        sim.schedule(5, order.append, "late", priority=10)
+        sim.schedule(5, order.append, "early", priority=0)
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(5, fired.append, 1)
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(5, fired.append, "early")
+        sim.schedule(50, fired.append, "late")
+        sim.run(until=10)
+        assert fired == ["early"]
+        assert sim.now == 10
+
+    def test_run_max_events(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(i + 1, fired.append, i)
+        sim.run(max_events=3)
+        assert len(fired) == 3
+
+    def test_events_processed_counter(self, sim):
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_events_can_schedule_more_events(self, sim):
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 3:
+                sim.schedule(1, chain, depth + 1)
+
+        sim.schedule(0, chain, 0)
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+        assert sim.now == 3
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_drain_detects_runaway(self, sim):
+        def forever():
+            sim.schedule(1, forever)
+
+        sim.schedule(0, forever)
+        with pytest.raises(SimulationError):
+            sim.drain(max_events=100)
+
+
+class TestSimProcess:
+    def test_timeout_advances_time(self, sim):
+        log = []
+
+        def proc():
+            yield Timeout(5)
+            log.append(sim.now)
+            yield Timeout(7)
+            log.append(sim.now)
+
+        SimProcess(sim, proc(), "p").start()
+        sim.run()
+        assert log == [5, 12]
+
+    def test_process_result_recorded(self, sim):
+        def proc():
+            yield Timeout(1)
+            return 42
+
+        process = SimProcess(sim, proc(), "p").start()
+        sim.run()
+        assert process.finished
+        assert process.result == 42
+
+    def test_wait_condition_wakes_waiters(self, sim):
+        condition = WaitCondition()
+        results = []
+
+        def waiter():
+            value = yield condition
+            results.append((sim.now, value))
+
+        def notifier():
+            yield Timeout(9)
+            condition.notify("done")
+
+        SimProcess(sim, waiter(), "w").start()
+        SimProcess(sim, notifier(), "n").start()
+        sim.run()
+        assert results == [(9, "done")]
+
+    def test_already_fired_condition_resumes_immediately(self, sim):
+        condition = WaitCondition()
+        condition.notify("early")
+        results = []
+
+        def waiter():
+            value = yield condition
+            results.append(value)
+
+        SimProcess(sim, waiter(), "w").start()
+        sim.run()
+        assert results == ["early"]
+
+    def test_integer_yield_is_a_timeout(self, sim):
+        times = []
+
+        def proc():
+            yield 3
+            times.append(sim.now)
+
+        SimProcess(sim, proc(), "p").start()
+        sim.run()
+        assert times == [3]
+
+    def test_unsupported_yield_raises(self, sim):
+        def proc():
+            yield "nonsense"
+
+        SimProcess(sim, proc(), "p").start()
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7, "x")
+        b = DeterministicRng(7, "x")
+        assert [a.randint(0, 100) for _ in range(20)] == [b.randint(0, 100) for _ in range(20)]
+
+    def test_different_names_differ(self):
+        a = DeterministicRng(7, "x")
+        b = DeterministicRng(7, "y")
+        assert [a.randint(0, 10 ** 9) for _ in range(5)] != [b.randint(0, 10 ** 9) for _ in range(5)]
+
+    def test_child_streams_are_independent_of_creation_order(self):
+        parent1 = DeterministicRng(7, "m")
+        parent2 = DeterministicRng(7, "m")
+        a = parent1.child("a")
+        _ = parent1.child("b")
+        a2 = parent2.child("a")
+        assert a.randint(0, 10 ** 9) == a2.randint(0, 10 ** 9)
+
+    def test_jitter_bounds(self, rng):
+        for _ in range(100):
+            value = rng.jitter(100, fraction=0.1)
+            assert 90 <= value <= 110
+
+    def test_jitter_of_zero_mean(self, rng):
+        assert rng.jitter(0) == 0
+
+    def test_shuffle_preserves_elements(self, rng):
+        items = list(range(10))
+        shuffled = rng.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(10))
+
+
+class TestStats:
+    def test_counter(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_histogram_statistics(self):
+        histogram = Histogram("h")
+        for value in (1, 2, 3, 4):
+            histogram.record(value)
+        assert histogram.count == 4
+        assert histogram.mean == 2.5
+        assert histogram.minimum == 1
+        assert histogram.maximum == 4
+        assert histogram.percentile(0.5) in (2, 3)
+
+    def test_empty_histogram(self):
+        histogram = Histogram("h")
+        assert histogram.mean == 0.0
+        assert histogram.percentile(0.9) == 0.0
+
+    def test_utilization_tracker(self):
+        tracker = UtilizationTracker("u")
+        tracker.add_busy(30)
+        tracker.add_busy(20)
+        assert tracker.busy_cycles == 50
+        assert tracker.utilization(100) == 0.5
+        assert tracker.utilization(0) == 0.0
+
+    def test_utilization_rejects_negative(self):
+        with pytest.raises(ValueError):
+            UtilizationTracker("u").add_busy(-1)
+
+    def test_registry_creates_and_reuses(self, stats):
+        assert stats.counter("a") is stats.counter("a")
+        assert stats.histogram("b") is stats.histogram("b")
+        assert stats.utilization("c") is stats.utilization("c")
+
+    def test_registry_merge(self):
+        a = StatsRegistry()
+        b = StatsRegistry()
+        a.counter("x").add(2)
+        b.counter("x").add(3)
+        b.histogram("h").record(1.0)
+        a.merge(b)
+        assert a.counter_value("x") == 5
+        assert a.histogram("h").count == 1
+
+    def test_snapshot_flattens(self, stats):
+        stats.counter("n").add(7)
+        stats.histogram("h").record(2.0)
+        snap = stats.snapshot()
+        assert snap["counter/n"] == 7
+        assert snap["hist/h/count"] == 1
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1, 2, 3]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit(1, "a", "kind")
+        assert tracer.records == []
+
+    def test_enabled_tracer_records(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit(1, "a", "read", "x")
+        tracer.emit(2, "b", "write", "y")
+        assert len(tracer.records) == 2
+        assert tracer.records[0].kind == "read"
+
+    def test_filter_by_kind_and_source(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit(1, "a", "read")
+        tracer.emit(2, "a", "write")
+        tracer.emit(3, "b", "read")
+        assert len(tracer.filter(kind="read")) == 2
+        assert len(tracer.filter(kind="read", source="b")) == 1
+
+    def test_capacity_limit(self):
+        tracer = Tracer(enabled=True, capacity=2)
+        for i in range(5):
+            tracer.emit(i, "a", "k")
+        assert len(tracer.records) == 2
+
+    def test_kinds_listing_and_clear(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit(1, "a", "z")
+        tracer.emit(1, "a", "b")
+        assert list(tracer.kinds()) == ["b", "z"]
+        tracer.clear()
+        assert tracer.records == []

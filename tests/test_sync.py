@@ -1,0 +1,274 @@
+"""Integration tests: synchronization primitives running on full machines.
+
+Every test builds a small machine, runs real thread generators through the
+simulator, and checks functional correctness (mutual exclusion, barrier
+semantics, reduction totals) plus the qualitative timing properties the paper
+relies on.
+"""
+
+import pytest
+
+from repro.isa.operations import Compute, Read, Write
+from repro.machine.configs import baseline, baseline_plus, wisync, wisync_not
+from repro.machine.manycore import Manycore
+from repro.sync.api import SyncFactory
+
+ALL_CONFIGS = [baseline, baseline_plus, wisync_not, wisync]
+CONFIG_IDS = ["baseline", "baseline+", "wisync-not", "wisync"]
+
+
+def run_machine(config_fn, body_factory, num_threads=8, cores=8):
+    machine = Manycore(config_fn(num_cores=cores))
+    program = machine.new_program("test")
+    sync = SyncFactory(program)
+    shared = body_factory(machine, program, sync)
+    for _ in range(num_threads):
+        program.add_thread(shared["body"])
+    result = machine.run()
+    return machine, result, shared
+
+
+class TestLocks:
+    @pytest.mark.parametrize("config_fn", ALL_CONFIGS, ids=CONFIG_IDS)
+    def test_mutual_exclusion_counter(self, config_fn):
+        """A non-atomic read-modify-write under a lock must not lose updates."""
+        increments = 4
+
+        def factory(machine, program, sync):
+            lock = sync.create_lock()
+            counter_addr = program.alloc_shared()
+
+            def body(ctx):
+                for _ in range(increments):
+                    yield from lock.acquire(ctx)
+                    value = yield Read(counter_addr)
+                    yield Compute(5)
+                    yield Write(counter_addr, value + 1)
+                    yield from lock.release(ctx)
+                    yield Compute(ctx.rng.jitter(20))
+
+            return {"body": body, "counter": counter_addr}
+
+        machine, result, shared = run_machine(config_fn, factory)
+        assert result.completed
+        assert machine.memory.peek(shared["counter"]) == 8 * increments
+
+    @pytest.mark.parametrize("config_fn", ALL_CONFIGS, ids=CONFIG_IDS)
+    def test_lock_is_released_at_end(self, config_fn):
+        def factory(machine, program, sync):
+            lock = sync.create_lock()
+
+            def body(ctx):
+                yield from lock.acquire(ctx)
+                yield Compute(3)
+                yield from lock.release(ctx)
+
+            return {"body": body, "lock": lock}
+
+        machine, result, shared = run_machine(config_fn, factory, num_threads=4)
+        assert result.completed
+
+    def test_wisync_lock_is_much_faster_than_baseline(self):
+        def factory(machine, program, sync):
+            lock = sync.create_lock()
+
+            def body(ctx):
+                for _ in range(3):
+                    yield from lock.acquire(ctx)
+                    yield Compute(10)
+                    yield from lock.release(ctx)
+                    yield Compute(50)
+
+            return {"body": body}
+
+        _, base_result, _ = run_machine(baseline, factory, num_threads=16, cores=16)
+        _, wisync_result, _ = run_machine(wisync, factory, num_threads=16, cores=16)
+        assert wisync_result.total_cycles < base_result.total_cycles / 3
+
+
+class TestBarriers:
+    @pytest.mark.parametrize("config_fn", ALL_CONFIGS, ids=CONFIG_IDS)
+    def test_no_thread_passes_barrier_early(self, config_fn):
+        """Phase counters must never be observed out of sync across a barrier."""
+        phases = 3
+
+        def factory(machine, program, sync):
+            barrier = sync.create_barrier(8)
+            phase_flags = [program.alloc_shared() for _ in range(8)]
+            violations = []
+
+            def body(ctx):
+                for phase in range(1, phases + 1):
+                    yield Write(phase_flags[ctx.thread_id], phase)
+                    yield Compute(ctx.rng.jitter(50))
+                    yield from barrier.wait(ctx)
+                    # After the barrier, every thread must have reached this phase.
+                    for flag in phase_flags:
+                        value = yield Read(flag)
+                        if value < phase:
+                            violations.append((ctx.thread_id, phase, value))
+                    yield from barrier.wait(ctx)
+
+            return {"body": body, "violations": violations}
+
+        machine, result, shared = run_machine(config_fn, factory)
+        assert result.completed
+        assert shared["violations"] == []
+
+    @pytest.mark.parametrize("config_fn", ALL_CONFIGS, ids=CONFIG_IDS)
+    def test_barrier_reusable_many_times(self, config_fn):
+        def factory(machine, program, sync):
+            barrier = sync.create_barrier(4)
+
+            def body(ctx):
+                for _ in range(6):
+                    yield Compute(ctx.rng.jitter(30))
+                    yield from barrier.wait(ctx)
+
+            return {"body": body}
+
+        machine, result, _ = run_machine(config_fn, factory, num_threads=4, cores=4)
+        assert result.completed
+
+    def test_single_thread_barrier_does_not_block(self):
+        def factory(machine, program, sync):
+            barrier = sync.create_barrier(1)
+
+            def body(ctx):
+                yield from barrier.wait(ctx)
+                yield from barrier.wait(ctx)
+
+            return {"body": body}
+
+        machine, result, _ = run_machine(wisync, factory, num_threads=1, cores=2)
+        assert result.completed
+
+    def test_tone_barrier_beats_wireless_barrier(self):
+        def factory(machine, program, sync):
+            barrier = sync.create_barrier(16)
+
+            def body(ctx):
+                for _ in range(4):
+                    yield Compute(30)
+                    yield from barrier.wait(ctx)
+
+            return {"body": body}
+
+        _, with_tone, _ = run_machine(wisync, factory, num_threads=16, cores=16)
+        _, without_tone, _ = run_machine(wisync_not, factory, num_threads=16, cores=16)
+        assert with_tone.total_cycles < without_tone.total_cycles
+
+    def test_paper_ordering_baseline_much_slower(self):
+        def factory(machine, program, sync):
+            barrier = sync.create_barrier(16)
+
+            def body(ctx):
+                for _ in range(3):
+                    yield Compute(50)
+                    yield from barrier.wait(ctx)
+
+            return {"body": body}
+
+        _, base, _ = run_machine(baseline, factory, num_threads=16, cores=16)
+        _, plus, _ = run_machine(baseline_plus, factory, num_threads=16, cores=16)
+        _, ws, _ = run_machine(wisync, factory, num_threads=16, cores=16)
+        assert ws.total_cycles < plus.total_cycles < base.total_cycles
+
+
+class TestCellsAndReductions:
+    @pytest.mark.parametrize("config_fn", ALL_CONFIGS, ids=CONFIG_IDS)
+    def test_reduction_total_is_exact(self, config_fn):
+        adds = 5
+
+        def factory(machine, program, sync):
+            reducer = sync.create_reducer()
+
+            def body(ctx):
+                for i in range(adds):
+                    yield from reducer.add(ctx, ctx.thread_id + 1)
+                    yield Compute(ctx.rng.jitter(10))
+
+            return {"body": body, "reducer": reducer}
+
+        machine, result, shared = run_machine(config_fn, factory, num_threads=6, cores=8)
+        expected = adds * sum(range(1, 7))
+        cell_addr = shared["reducer"].cell.addr
+        if machine.fabric is not None and not machine.fabric.is_spilled(cell_addr):
+            assert machine.fabric.memory.read(cell_addr) == expected
+        else:
+            assert machine.memory.peek(cell_addr) == expected
+
+    @pytest.mark.parametrize("config_fn", [baseline, wisync], ids=["baseline", "wisync"])
+    def test_cas_cell_only_one_winner_per_round(self, config_fn):
+        def factory(machine, program, sync):
+            cell = sync.create_cell()
+            wins = []
+
+            def body(ctx):
+                success, old = yield from cell.cas(ctx, expected=0, new=ctx.thread_id + 1)
+                if success:
+                    wins.append(ctx.thread_id)
+
+            return {"body": body, "wins": wins}
+
+        machine, result, shared = run_machine(config_fn, factory, num_threads=8)
+        assert result.completed
+        assert len(shared["wins"]) == 1
+
+
+class TestProducerConsumerAndEureka:
+    @pytest.mark.parametrize("config_fn", [baseline, wisync], ids=["baseline", "wisync"])
+    def test_producer_consumer_transfers_payloads_in_order(self, config_fn):
+        payload_count = 4
+
+        def factory(machine, program, sync):
+            channel = sync.create_channel()
+            received = []
+
+            def producer(ctx):
+                for i in range(payload_count):
+                    yield from channel.produce(ctx, (i, i + 1, i + 2, i + 3))
+
+            def consumer(ctx):
+                for _ in range(payload_count):
+                    values = yield from channel.consume(ctx)
+                    received.append(values)
+
+            return {"producer": producer, "consumer": consumer, "received": received}
+
+        machine = Manycore(config_fn(num_cores=4))
+        program = machine.new_program("pc")
+        sync = SyncFactory(program)
+        shared = factory(machine, program, sync)
+        program.add_thread(shared["producer"], core_id=0)
+        program.add_thread(shared["consumer"], core_id=1)
+        result = machine.run()
+        assert result.completed
+        assert shared["received"] == [(i, i + 1, i + 2, i + 3) for i in range(payload_count)]
+
+    @pytest.mark.parametrize("config_fn", [baseline, wisync], ids=["baseline", "wisync"])
+    def test_eureka_or_barrier_releases_waiters(self, config_fn):
+        def factory(machine, program, sync):
+            eureka = sync.create_or_barrier()
+            released = []
+
+            def finder(ctx):
+                yield Compute(200)
+                yield from eureka.post(ctx)
+
+            def waiter(ctx):
+                yield from eureka.wait(ctx)
+                released.append(ctx.thread_id)
+
+            return {"finder": finder, "waiter": waiter, "released": released}
+
+        machine = Manycore(config_fn(num_cores=4))
+        program = machine.new_program("eureka")
+        sync = SyncFactory(program)
+        shared = factory(machine, program, sync)
+        program.add_thread(shared["finder"], core_id=0)
+        for core in (1, 2, 3):
+            program.add_thread(shared["waiter"], core_id=core)
+        result = machine.run()
+        assert result.completed
+        assert sorted(shared["released"]) == [1, 2, 3]
