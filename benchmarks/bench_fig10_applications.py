@@ -4,7 +4,7 @@ from repro.experiments.fig10_applications import format_fig10, run_fig10
 from repro.workloads.synthetic_apps import application_names
 
 
-def test_fig10_application_speedups(benchmark, full_sweeps):
+def test_fig10_application_speedups(benchmark, full_sweeps, runner):
     if full_sweeps:
         apps, cores, scale = application_names(), 64, 1.0
     else:
@@ -12,7 +12,7 @@ def test_fig10_application_speedups(benchmark, full_sweeps):
                 "blackscholes", "swaptions", "barnes", "fft"]
         cores, scale = 32, 0.4
     table = benchmark.pedantic(
-        run_fig10, kwargs={"apps": apps, "num_cores": cores, "phase_scale": scale},
+        run_fig10, kwargs={"apps": apps, "num_cores": cores, "phase_scale": scale, "runner": runner},
         rounds=1, iterations=1,
     )
     print()

@@ -3,7 +3,7 @@
 from repro.experiments.fig11_sensitivity import format_fig11, run_fig11
 
 
-def test_fig11_sensitivity(benchmark, full_sweeps):
+def test_fig11_sensitivity(benchmark, full_sweeps, runner):
     if full_sweeps:
         kwargs = {"num_cores": 64, "phase_scale": 0.5}
     else:
@@ -12,6 +12,7 @@ def test_fig11_sensitivity(benchmark, full_sweeps):
             "num_cores": 16,
             "phase_scale": 0.3,
         }
+    kwargs["runner"] = runner
     table = benchmark.pedantic(run_fig11, kwargs=kwargs, rounds=1, iterations=1)
     print()
     print(format_fig11(table))

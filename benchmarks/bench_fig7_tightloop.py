@@ -8,11 +8,11 @@ from repro.experiments.fig7_tightloop import (
 )
 
 
-def test_fig7_tightloop_scaling(benchmark, full_sweeps):
+def test_fig7_tightloop_scaling(benchmark, full_sweeps, runner):
     core_counts = PAPER_CORE_COUNTS if full_sweeps else [16, 32, 64]
     iterations = 5 if full_sweeps else 3
     series = benchmark.pedantic(
-        run_fig7, kwargs={"core_counts": core_counts, "iterations": iterations},
+        run_fig7, kwargs={"core_counts": core_counts, "iterations": iterations, "runner": runner},
         rounds=1, iterations=1,
     )
     print()

@@ -9,7 +9,7 @@ from repro.experiments.fig8_livermore import (
 from repro.workloads.livermore import LivermoreLoop
 
 
-def test_fig8_livermore_loops(benchmark, full_sweeps):
+def test_fig8_livermore_loops(benchmark, full_sweeps, runner):
     core_counts = [64, 128] if full_sweeps else [16]
     lengths = PAPER_VECTOR_LENGTHS if full_sweeps else {
         LivermoreLoop.ICCG: [64, 1024],
@@ -18,7 +18,8 @@ def test_fig8_livermore_loops(benchmark, full_sweeps):
     }
     series = benchmark.pedantic(
         run_fig8,
-        kwargs={"core_counts": core_counts, "vector_lengths": lengths, "repetitions": 1},
+        kwargs={"core_counts": core_counts, "vector_lengths": lengths, "repetitions": 1,
+                "runner": runner},
         rounds=1, iterations=1,
     )
     print()

@@ -9,7 +9,7 @@ from repro.experiments.fig9_cas import (
 from repro.workloads.cas_kernels import CasKernelKind
 
 
-def test_fig9_cas_throughput(benchmark, full_sweeps):
+def test_fig9_cas_throughput(benchmark, full_sweeps, runner):
     kinds = list(CasKernelKind) if full_sweeps else [CasKernelKind.ADD, CasKernelKind.FIFO]
     core_counts = [64, 128] if full_sweeps else [32]
     crits = PAPER_CRITICAL_SECTIONS if full_sweeps else [16384, 256, 16]
@@ -20,6 +20,7 @@ def test_fig9_cas_throughput(benchmark, full_sweeps):
             "core_counts": core_counts,
             "critical_sections": crits,
             "successes_per_thread": 4,
+            "runner": runner,
         },
         rounds=1, iterations=1,
     )

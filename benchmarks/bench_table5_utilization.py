@@ -3,12 +3,12 @@
 from repro.experiments.table5_utilization import TABLE5_APPS, format_table5, run_table5
 
 
-def test_table5_data_channel_utilization(benchmark, full_sweeps):
+def test_table5_data_channel_utilization(benchmark, full_sweeps, runner):
     apps = TABLE5_APPS if full_sweeps else ["streamcluster", "raytrace", "ocean-c"]
     cores = 64 if full_sweeps else 32
     scale = 1.0 if full_sweeps else 0.4
     table = benchmark.pedantic(
-        run_table5, kwargs={"apps": apps, "num_cores": cores, "phase_scale": scale},
+        run_table5, kwargs={"apps": apps, "num_cores": cores, "phase_scale": scale, "runner": runner},
         rounds=1, iterations=1,
     )
     print()

@@ -2,8 +2,14 @@
 
 Each benchmark regenerates one table or figure of the paper at a reduced
 (but shape-preserving) scale so the whole suite runs in minutes on a laptop.
-Set ``WISYNC_FULL_SWEEPS=1`` in the environment to use the paper's full
-parameter sweeps (substantially slower).
+Environment knobs:
+
+* ``WISYNC_FULL_SWEEPS=1`` — use the paper's full parameter sweeps
+  (substantially slower).
+* ``WISYNC_BENCH_PARALLEL=N`` — fan each sweep out over an N-worker process
+  pool instead of running serially.
+* ``WISYNC_BENCH_CACHE=DIR`` — memoize simulation results on disk so
+  repeated benchmark runs only simulate changed grid points.
 """
 
 from __future__ import annotations
@@ -12,12 +18,24 @@ import os
 
 import pytest
 
+from repro.runner import ParallelExecutor, ResultCache, Runner, SerialExecutor
+
 FULL_SWEEPS = os.environ.get("WISYNC_FULL_SWEEPS", "0") == "1"
+BENCH_PARALLEL = int(os.environ.get("WISYNC_BENCH_PARALLEL", "0"))
+BENCH_CACHE = os.environ.get("WISYNC_BENCH_CACHE", "")
 
 
 @pytest.fixture(scope="session")
 def full_sweeps() -> bool:
     return FULL_SWEEPS
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    """The sweep runner every experiment benchmark executes through."""
+    executor = ParallelExecutor(BENCH_PARALLEL) if BENCH_PARALLEL > 0 else SerialExecutor()
+    cache = ResultCache(BENCH_CACHE) if BENCH_CACHE else None
+    return Runner(executor=executor, cache=cache)
 
 
 def pytest_benchmark_update_json(config, benchmarks, output_json):

@@ -53,9 +53,20 @@ from repro.machine import (
     wisync,
     wisync_not,
 )
+from repro.runner import (
+    ParallelExecutor,
+    ResultCache,
+    Runner,
+    RunSpec,
+    SerialExecutor,
+    SweepResult,
+    SweepSpec,
+    register_workload,
+    workload_names,
+)
 from repro.sync import SyncFactory
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -84,4 +95,14 @@ __all__ = [
     "config_by_name",
     # synchronization
     "SyncFactory",
+    # declarative run API
+    "RunSpec",
+    "SweepSpec",
+    "Runner",
+    "SweepResult",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ResultCache",
+    "register_workload",
+    "workload_names",
 ]

@@ -1,25 +1,31 @@
 """Experiment harness: one module per table/figure of the paper's evaluation.
 
-Every module exposes a ``run_*`` function that executes the simulations and
-returns structured data (dictionaries keyed by configuration / sweep point)
-plus a ``format_*`` helper that renders the same rows the paper reports.
-The ``benchmarks/`` directory wraps these functions with pytest-benchmark.
+Every module declares its evaluation grid as a ``*_sweep`` function returning
+a :class:`~repro.runner.spec.SweepSpec`, executed through
+:class:`~repro.runner.runner.Runner` — so any figure can be fanned out over a
+:class:`~repro.runner.executor.ParallelExecutor`, memoized in a
+:class:`~repro.runner.cache.ResultCache`, or driven from the
+``python -m repro`` CLI.  The legacy ``run_*`` functions remain as thin
+compatibility wrappers over the Runner (same signatures plus an optional
+``runner=`` argument) and still return the same structured dictionaries; the
+``format_*`` helpers render the rows the paper reports.  The ``benchmarks/``
+directory wraps these functions with pytest-benchmark.
 """
 
-from repro.experiments.fig7_tightloop import format_fig7, run_fig7
-from repro.experiments.fig8_livermore import format_fig8, run_fig8
-from repro.experiments.fig9_cas import format_fig9, run_fig9
-from repro.experiments.fig10_applications import format_fig10, run_fig10
-from repro.experiments.fig11_sensitivity import format_fig11, run_fig11
+from repro.experiments.fig7_tightloop import fig7_sweep, format_fig7, run_fig7
+from repro.experiments.fig8_livermore import fig8_sweep, format_fig8, run_fig8
+from repro.experiments.fig9_cas import fig9_sweep, format_fig9, run_fig9
+from repro.experiments.fig10_applications import fig10_sweep, format_fig10, run_fig10
+from repro.experiments.fig11_sensitivity import fig11_sweep, format_fig11, run_fig11
 from repro.experiments.table4_area_power import format_table4, run_table4
-from repro.experiments.table5_utilization import format_table5, run_table5
+from repro.experiments.table5_utilization import format_table5, run_table5, table5_sweep
 
 __all__ = [
-    "run_fig7", "format_fig7",
-    "run_fig8", "format_fig8",
-    "run_fig9", "format_fig9",
-    "run_fig10", "format_fig10",
-    "run_fig11", "format_fig11",
+    "run_fig7", "format_fig7", "fig7_sweep",
+    "run_fig8", "format_fig8", "fig8_sweep",
+    "run_fig9", "format_fig9", "fig9_sweep",
+    "run_fig10", "format_fig10", "fig10_sweep",
+    "run_fig11", "format_fig11", "fig11_sweep",
     "run_table4", "format_table4",
-    "run_table5", "format_table5",
+    "run_table5", "format_table5", "table5_sweep",
 ]

@@ -11,9 +11,33 @@ from typing import Dict, List, Optional
 
 from repro.analysis.metrics import arithmetic_mean_speedup, geometric_mean_speedup
 from repro.analysis.tables import format_table
-from repro.experiments.common import CONFIG_BUILDERS, run_workload_on_configs
+from repro.experiments.common import CONFIG_BUILDERS, run_sweep, specs_over_configs
 from repro.machine.results import SimResult
-from repro.workloads.synthetic_apps import application_names, build_application, profile_by_name
+from repro.runner.runner import Runner
+from repro.runner.spec import SweepSpec
+from repro.workloads.synthetic_apps import application_names
+
+
+def fig10_sweep(
+    apps: Optional[List[str]] = None,
+    num_cores: int = 64,
+    phase_scale: float = 1.0,
+    configs: Optional[List[str]] = None,
+    seed: int = 2016,
+) -> SweepSpec:
+    """The declarative grid behind Figure 10 (Baseline always included)."""
+    apps = apps if apps is not None else application_names()
+    configs = configs if configs is not None else list(CONFIG_BUILDERS)
+    if "Baseline" not in configs:
+        configs = ["Baseline"] + configs
+    specs = [
+        spec
+        for app in apps
+        for spec in specs_over_configs(
+            "application", {"app": app, "phase_scale": phase_scale}, num_cores, configs, seed
+        )
+    ]
+    return SweepSpec(name="fig10", specs=tuple(specs))
 
 
 def run_fig10(
@@ -22,6 +46,7 @@ def run_fig10(
     phase_scale: float = 1.0,
     configs: Optional[List[str]] = None,
     keep_results: bool = False,
+    runner: Optional[Runner] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Speedups over Baseline, keyed by application then configuration.
 
@@ -34,20 +59,18 @@ def run_fig10(
     configs = configs if configs is not None else list(CONFIG_BUILDERS)
     if "Baseline" not in configs:
         configs = ["Baseline"] + configs
+    sweep = fig10_sweep(apps, num_cores, phase_scale, configs)
+    sweep_results = run_sweep(sweep, runner)
     table: Dict[str, Dict[str, float]] = {}
     raw: Dict[str, Dict[str, SimResult]] = {}
+    for spec in sweep:
+        app = spec.params_dict()["app"]
+        raw.setdefault(app, {})[spec.config] = sweep_results[spec]
     for app in apps:
-        profile = profile_by_name(app)
-        results = run_workload_on_configs(
-            lambda machine, _p=profile: build_application(machine, _p, phase_scale=phase_scale),
-            num_cores=num_cores,
-            configs=configs,
-        )
-        base_cycles = results["Baseline"].total_cycles
+        base_cycles = raw[app]["Baseline"].total_cycles
         table[app] = {
-            label: base_cycles / result.total_cycles for label, result in results.items()
+            label: base_cycles / result.total_cycles for label, result in raw[app].items()
         }
-        raw[app] = results
     non_baseline = [label for label in configs if label != "Baseline"]
     table["mean"] = {
         label: arithmetic_mean_speedup(table[app][label] for app in apps) for label in non_baseline

@@ -9,15 +9,14 @@ insensitive to the BM latency.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, List, Optional
 
 from repro.analysis.tables import format_table
-from repro.experiments.common import CONFIG_BUILDERS
+from repro.experiments.common import CONFIG_BUILDERS, run_sweep, specs_over_configs
 from repro.machine.configs import sensitivity_variants
-from repro.machine.manycore import Manycore
+from repro.runner.runner import Runner
+from repro.runner.spec import SweepSpec
 from repro.sim.stats import geometric_mean
-from repro.workloads.synthetic_apps import application_names, build_application, profile_by_name
 
 #: Representative application subset used by default to keep the sweep fast;
 #: pass ``apps=application_names()`` for the full Figure 11 input set.
@@ -27,30 +26,61 @@ DEFAULT_SENSITIVITY_APPS = [
 ]
 
 
+def variant_names(num_cores: int = 64) -> List[str]:
+    """The Table 6 variant names, in the paper's order."""
+    return list(sensitivity_variants(CONFIG_BUILDERS["Baseline"](num_cores=num_cores)))
+
+
+def fig11_sweep(
+    apps: Optional[List[str]] = None,
+    num_cores: int = 64,
+    phase_scale: float = 0.5,
+    variants: Optional[List[str]] = None,
+    seed: int = 2016,
+) -> SweepSpec:
+    """The declarative grid behind Figure 11 (all four configs per variant)."""
+    apps = apps if apps is not None else DEFAULT_SENSITIVITY_APPS
+    names = variants if variants is not None else variant_names(num_cores)
+    specs = [
+        spec
+        for variant in names
+        for app in apps
+        for spec in specs_over_configs(
+            "application",
+            {"app": app, "phase_scale": phase_scale},
+            num_cores,
+            configs=None,
+            seed=seed,
+            variant=variant,
+        )
+    ]
+    return SweepSpec(name="fig11", specs=tuple(specs))
+
+
 def run_fig11(
     apps: Optional[List[str]] = None,
     num_cores: int = 64,
     phase_scale: float = 0.5,
     variants: Optional[List[str]] = None,
+    runner: Optional[Runner] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Geometric-mean speedups over Baseline, keyed by variant then config."""
     apps = apps if apps is not None else DEFAULT_SENSITIVITY_APPS
+    names = variants if variants is not None else variant_names(num_cores)
+    sweep = fig11_sweep(apps, num_cores, phase_scale, names)
+    results = run_sweep(sweep, runner)
+    # cycles[(variant, app)][config] -> total cycles
+    cycles: Dict[tuple, Dict[str, int]] = {}
+    for spec in sweep:
+        app = spec.params_dict()["app"]
+        cycles.setdefault((spec.variant, app), {})[spec.config] = results[spec].total_cycles
     table: Dict[str, Dict[str, float]] = {}
-    all_variants = sensitivity_variants(CONFIG_BUILDERS["Baseline"](num_cores=num_cores))
-    names = variants if variants is not None else list(all_variants)
     for variant in names:
         speedups: Dict[str, List[float]] = {"Baseline+": [], "WiSyncNoT": [], "WiSync": []}
         for app in apps:
-            profile = profile_by_name(app)
-            cycles: Dict[str, int] = {}
-            for label, builder in CONFIG_BUILDERS.items():
-                base_config = builder(num_cores=num_cores)
-                variant_config = sensitivity_variants(base_config)[variant]
-                machine = Manycore(variant_config)
-                handle = build_application(machine, profile, phase_scale=phase_scale)
-                cycles[label] = handle.run().total_cycles
+            point = cycles[(variant, app)]
             for label in speedups:
-                speedups[label].append(cycles["Baseline"] / cycles[label])
+                speedups[label].append(point["Baseline"] / point[label])
         table[variant] = {
             label: geometric_mean(values) for label, values in speedups.items()
         }

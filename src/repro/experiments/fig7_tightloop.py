@@ -11,8 +11,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.analysis.tables import format_table
-from repro.experiments.common import CONFIG_BUILDERS, run_workload_on_configs
-from repro.workloads.tightloop import build_tightloop
+from repro.experiments.common import CONFIG_BUILDERS, run_sweep, specs_over_configs
+from repro.runner.runner import Runner
+from repro.runner.spec import SweepSpec
 
 #: Core counts of the paper's sweep.  256-core Baseline simulations are slow
 #: in pure Python, so the default benchmark sweep stops at 128; pass the full
@@ -21,23 +22,38 @@ DEFAULT_CORE_COUNTS = [16, 32, 64, 128]
 PAPER_CORE_COUNTS = [16, 32, 64, 128, 256]
 
 
+def fig7_sweep(
+    core_counts: Optional[List[int]] = None,
+    iterations: int = 5,
+    configs: Optional[List[str]] = None,
+    seed: int = 2016,
+) -> SweepSpec:
+    """The declarative grid behind Figure 7."""
+    core_counts = core_counts if core_counts is not None else DEFAULT_CORE_COUNTS
+    specs = [
+        spec
+        for cores in core_counts
+        for spec in specs_over_configs(
+            "tightloop", {"iterations": iterations}, cores, configs, seed
+        )
+    ]
+    return SweepSpec(name="fig7", specs=tuple(specs))
+
+
 def run_fig7(
     core_counts: Optional[List[int]] = None,
     iterations: int = 5,
     configs: Optional[List[str]] = None,
+    runner: Optional[Runner] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Cycles per TightLoop iteration, keyed by core count then configuration."""
-    core_counts = core_counts if core_counts is not None else DEFAULT_CORE_COUNTS
+    sweep = fig7_sweep(core_counts, iterations, configs)
+    results = run_sweep(sweep, runner)
     series: Dict[int, Dict[str, float]] = {}
-    for cores in core_counts:
-        results = run_workload_on_configs(
-            lambda machine: build_tightloop(machine, iterations=iterations),
-            num_cores=cores,
-            configs=configs,
+    for spec in sweep:
+        series.setdefault(spec.num_cores, {})[spec.config] = (
+            results[spec].total_cycles / iterations
         )
-        series[cores] = {
-            label: result.total_cycles / iterations for label, result in results.items()
-        }
     return series
 
 

@@ -11,8 +11,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.tables import format_table
-from repro.experiments.common import CONFIG_BUILDERS, run_workload_on_configs
-from repro.workloads.livermore import LivermoreLoop, build_livermore_loop
+from repro.experiments.common import CONFIG_BUILDERS, run_sweep, specs_over_configs
+from repro.runner.runner import Runner
+from repro.runner.spec import SweepSpec
+from repro.workloads.livermore import LivermoreLoop
 
 #: Vector lengths used by default (a subsample of the paper's sweep).
 DEFAULT_VECTOR_LENGTHS = {
@@ -27,31 +29,50 @@ PAPER_VECTOR_LENGTHS = {
 }
 
 
+def fig8_sweep(
+    loops: Optional[List[LivermoreLoop]] = None,
+    core_counts: Optional[List[int]] = None,
+    vector_lengths: Optional[Dict[LivermoreLoop, List[int]]] = None,
+    repetitions: int = 2,
+    configs: Optional[List[str]] = None,
+    seed: int = 2016,
+) -> SweepSpec:
+    """The declarative grid behind Figure 8."""
+    loops = loops if loops is not None else list(LivermoreLoop)
+    core_counts = core_counts if core_counts is not None else [64]
+    vector_lengths = vector_lengths if vector_lengths is not None else DEFAULT_VECTOR_LENGTHS
+    specs = [
+        spec
+        for loop in loops
+        for cores in core_counts
+        for length in vector_lengths[LivermoreLoop(loop)]
+        for spec in specs_over_configs(
+            "livermore",
+            {"loop": int(loop), "vector_length": length, "repetitions": repetitions},
+            cores,
+            configs,
+            seed,
+        )
+    ]
+    return SweepSpec(name="fig8", specs=tuple(specs))
+
+
 def run_fig8(
     loops: Optional[List[LivermoreLoop]] = None,
     core_counts: Optional[List[int]] = None,
     vector_lengths: Optional[Dict[LivermoreLoop, List[int]]] = None,
     repetitions: int = 2,
     configs: Optional[List[str]] = None,
+    runner: Optional[Runner] = None,
 ) -> Dict[Tuple[int, int, int], Dict[str, float]]:
     """Execution time keyed by ``(loop, cores, vector_length)`` then config."""
-    loops = loops if loops is not None else list(LivermoreLoop)
-    core_counts = core_counts if core_counts is not None else [64]
-    vector_lengths = vector_lengths if vector_lengths is not None else DEFAULT_VECTOR_LENGTHS
+    sweep = fig8_sweep(loops, core_counts, vector_lengths, repetitions, configs)
+    results = run_sweep(sweep, runner)
     series: Dict[Tuple[int, int, int], Dict[str, float]] = {}
-    for loop in loops:
-        for cores in core_counts:
-            for length in vector_lengths[loop]:
-                results = run_workload_on_configs(
-                    lambda machine, _loop=loop, _len=length: build_livermore_loop(
-                        machine, _loop, _len, repetitions=repetitions
-                    ),
-                    num_cores=cores,
-                    configs=configs,
-                )
-                series[(int(loop), cores, length)] = {
-                    label: float(result.total_cycles) for label, result in results.items()
-                }
+    for spec in sweep:
+        params = spec.params_dict()
+        key = (params["loop"], spec.num_cores, params["vector_length"])
+        series.setdefault(key, {})[spec.config] = float(results[spec].total_cycles)
     return series
 
 

@@ -12,8 +12,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import throughput_per_kcycle
 from repro.analysis.tables import format_table
-from repro.experiments.common import run_workload_on_configs
-from repro.workloads.cas_kernels import CasKernelKind, build_cas_kernel
+from repro.experiments.common import run_sweep, specs_over_configs
+from repro.runner.runner import Runner
+from repro.runner.spec import SweepSpec
+from repro.workloads.cas_kernels import CasKernelKind
 
 #: The paper only compares these two configurations for the CAS kernels,
 #: because the kernels are lock-free and independent of the barrier/lock
@@ -24,36 +26,60 @@ DEFAULT_CRITICAL_SECTIONS = [4096, 256, 16]
 PAPER_CRITICAL_SECTIONS = [65536, 16384, 4096, 1024, 256, 64, 16, 4]
 
 
-def run_fig9(
+def fig9_sweep(
     kinds: Optional[List[CasKernelKind]] = None,
     core_counts: Optional[List[int]] = None,
     critical_sections: Optional[List[int]] = None,
     successes_per_thread: int = 6,
     configs: Optional[List[str]] = None,
-) -> Dict[Tuple[str, int, int], Dict[str, float]]:
-    """Throughput (CAS/1000 cycles) keyed by ``(kernel, cores, crit)`` then config."""
+    seed: int = 2016,
+) -> SweepSpec:
+    """The declarative grid behind Figure 9."""
     kinds = kinds if kinds is not None else list(CasKernelKind)
     core_counts = core_counts if core_counts is not None else [64]
     critical_sections = (
         critical_sections if critical_sections is not None else DEFAULT_CRITICAL_SECTIONS
     )
     configs = configs if configs is not None else CAS_CONFIGS
+    specs = [
+        spec
+        for kind in kinds
+        for cores in core_counts
+        for crit in critical_sections
+        for spec in specs_over_configs(
+            "cas",
+            {
+                "kind": CasKernelKind(kind).value,
+                "critical_section_instructions": crit,
+                "successes_per_thread": successes_per_thread,
+            },
+            cores,
+            configs,
+            seed,
+        )
+    ]
+    return SweepSpec(name="fig9", specs=tuple(specs))
+
+
+def run_fig9(
+    kinds: Optional[List[CasKernelKind]] = None,
+    core_counts: Optional[List[int]] = None,
+    critical_sections: Optional[List[int]] = None,
+    successes_per_thread: int = 6,
+    configs: Optional[List[str]] = None,
+    runner: Optional[Runner] = None,
+) -> Dict[Tuple[str, int, int], Dict[str, float]]:
+    """Throughput (CAS/1000 cycles) keyed by ``(kernel, cores, crit)`` then config."""
+    sweep = fig9_sweep(kinds, core_counts, critical_sections, successes_per_thread, configs)
+    results = run_sweep(sweep, runner)
     series: Dict[Tuple[str, int, int], Dict[str, float]] = {}
-    for kind in kinds:
-        for cores in core_counts:
-            for crit in critical_sections:
-                results = run_workload_on_configs(
-                    lambda machine, _k=kind, _c=crit: build_cas_kernel(
-                        machine, _k, _c, successes_per_thread=successes_per_thread
-                    ),
-                    num_cores=cores,
-                    configs=configs,
-                )
-                point: Dict[str, float] = {}
-                for label, result in results.items():
-                    total = successes_per_thread * cores
-                    point[label] = throughput_per_kcycle(total, result.total_cycles)
-                series[(kind.value, cores, crit)] = point
+    for spec in sweep:
+        params = spec.params_dict()
+        key = (params["kind"], spec.num_cores, params["critical_section_instructions"])
+        total = successes_per_thread * spec.num_cores
+        series.setdefault(key, {})[spec.config] = throughput_per_kcycle(
+            total, results[spec].total_cycles
+        )
     return series
 
 

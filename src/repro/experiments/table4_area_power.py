@@ -12,8 +12,12 @@ from repro.analysis.area_power import area_power_table
 from repro.analysis.tables import format_table
 
 
-def run_table4(technology_nm: int = 22) -> Dict[str, Dict[str, float]]:
-    """Regenerate Table 4's numbers at the requested technology node."""
+def run_table4(technology_nm: int = 22, runner=None) -> Dict[str, Dict[str, float]]:
+    """Regenerate Table 4's numbers at the requested technology node.
+
+    ``runner`` is accepted (and ignored) for CLI uniformity with the
+    simulation-backed experiments; this one is a closed-form model.
+    """
     return area_power_table(technology_nm)
 
 

@@ -12,13 +12,36 @@ from typing import Dict, List, Optional
 
 from repro.analysis.metrics import utilization_percent
 from repro.analysis.tables import format_table
-from repro.experiments.common import run_workload_on_configs
+from repro.experiments.common import run_sweep, specs_over_configs
+from repro.runner.runner import Runner
+from repro.runner.spec import SweepSpec
 from repro.sim.stats import geometric_mean
-from repro.workloads.synthetic_apps import application_names, build_application, profile_by_name
 
 #: Applications the paper singles out in Table 5 (most demanding ones).
 TABLE5_APPS = ["streamcluster", "radiosity", "water-ns", "fluidanimate",
                "raytrace", "ocean-c", "ocean-nc"]
+
+
+def table5_sweep(
+    apps: Optional[List[str]] = None,
+    num_cores: int = 64,
+    phase_scale: float = 1.0,
+    seed: int = 2016,
+) -> SweepSpec:
+    """The declarative grid behind Table 5 (the two WiSync configurations)."""
+    apps = apps if apps is not None else TABLE5_APPS
+    specs = [
+        spec
+        for app in apps
+        for spec in specs_over_configs(
+            "application",
+            {"app": app, "phase_scale": phase_scale},
+            num_cores,
+            configs=["WiSyncNoT", "WiSync"],
+            seed=seed,
+        )
+    ]
+    return SweepSpec(name="table5", specs=tuple(specs))
 
 
 def run_table5(
@@ -26,20 +49,16 @@ def run_table5(
     num_cores: int = 64,
     phase_scale: float = 1.0,
     include_geomean_over: Optional[List[str]] = None,
+    runner: Optional[Runner] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Data-channel utilization (%) keyed by application then configuration."""
     apps = apps if apps is not None else TABLE5_APPS
+    sweep = table5_sweep(apps, num_cores, phase_scale)
+    results = run_sweep(sweep, runner)
     table: Dict[str, Dict[str, float]] = {}
-    for app in apps:
-        profile = profile_by_name(app)
-        results = run_workload_on_configs(
-            lambda machine, _p=profile: build_application(machine, _p, phase_scale=phase_scale),
-            num_cores=num_cores,
-            configs=["WiSyncNoT", "WiSync"],
-        )
-        table[app] = {
-            label: utilization_percent(result) for label, result in results.items()
-        }
+    for spec in sweep:
+        app = spec.params_dict()["app"]
+        table.setdefault(app, {})[spec.config] = utilization_percent(results[spec])
     geo_apps = include_geomean_over if include_geomean_over is not None else apps
     geo_rows = [table[a] for a in geo_apps if a in table]
     if geo_rows:

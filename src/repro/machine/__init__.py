@@ -5,6 +5,10 @@ cached-memory hierarchy, the wired mesh, and (when enabled) the WiSync
 wireless fabric into one simulated chip, and drives workload threads over it.
 :mod:`repro.machine.configs` builds the four configurations of Table 2
 (Baseline, Baseline+, WiSyncNoT, WiSync) and the Table 6 sensitivity variants.
+:class:`~repro.machine.results.SimResult` is JSON-serializable
+(``to_dict``/``from_dict``, stats snapshot included) so results survive the
+parallel executor's process boundary and the on-disk result cache of
+:mod:`repro.runner`.
 """
 
 from repro.machine.configs import (

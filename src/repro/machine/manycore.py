@@ -188,6 +188,7 @@ class Manycore:
         for thread in self.threads:
             self.sim.schedule(0, self._start_thread, thread)
         events = 0
+        truncated = False
         while self._finished < len(self.threads):
             progressed = self.sim.step()
             if not progressed:
@@ -197,11 +198,15 @@ class Manycore:
                     f"blocked threads: {blocked[:16]}"
                 )
             events += 1
-            if max_events is not None and events > max_events:
+            if events > max_events:
                 raise DeadlockError(f"simulation exceeded {max_events} events")
             if max_cycles is not None and self.sim.now >= max_cycles:
+                # Only a truncation if the budget actually cut threads short;
+                # a run whose last thread finishes exactly on the boundary is
+                # still converged.
+                truncated = self._finished < len(self.threads)
                 break
-        return self._build_result()
+        return self._build_result(truncated)
 
     # ------------------------------------------------------------ internals
     def _start_thread(self, thread: SimThread) -> None:
@@ -447,9 +452,13 @@ class Manycore:
         )
 
     # --------------------------------------------------------------- results
-    def _build_result(self) -> SimResult:
+    def _build_result(self, truncated: bool = False) -> SimResult:
+        # Unfinished threads (truncated runs) are charged the cycles they
+        # actually spent running, measured from their own start cycle.
         thread_cycles = [
-            (t.finish_cycle - t.start_cycle) if t.elapsed_cycles is not None else self.sim.now
+            t.elapsed_cycles
+            if t.elapsed_cycles is not None
+            else self.sim.now - (t.start_cycle or 0)
             for t in self.threads
         ]
         return SimResult(
@@ -461,4 +470,5 @@ class Manycore:
             stats=self.stats,
             finished_threads=self._finished,
             total_threads=len(self.threads),
+            completed=self._finished == len(self.threads) and not truncated,
         )

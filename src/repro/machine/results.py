@@ -21,12 +21,11 @@ class SimResult:
     finished_threads: int
     total_threads: int
     extra: Dict[str, float] = field(default_factory=dict)
+    #: False when the run was truncated (``max_cycles``) before every thread
+    #: finished, letting sweeps distinguish converged runs from partial ones.
+    completed: bool = True
 
     # ------------------------------------------------------------ durations
-    @property
-    def completed(self) -> bool:
-        return self.finished_threads == self.total_threads
-
     @property
     def max_thread_cycles(self) -> int:
         return max(self.thread_cycles) if self.thread_cycles else 0
@@ -79,3 +78,50 @@ class SimResult:
         if self.total_cycles <= 0:
             return 0.0
         return other.total_cycles / self.total_cycles
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe serialization (inverse of :meth:`from_dict`).
+
+        Includes the full stats snapshot so results survive the process
+        boundary of the parallel executor and the on-disk result cache.
+        ``thread_results`` are normalized to JSON types (tuples become
+        lists) so a round trip is value-identical to a JSON reload.
+        """
+        return {
+            "config_name": self.config_name,
+            "num_cores": self.num_cores,
+            "total_cycles": self.total_cycles,
+            "thread_cycles": list(self.thread_cycles),
+            "thread_results": [_jsonify(value) for value in self.thread_results],
+            "finished_threads": self.finished_threads,
+            "total_threads": self.total_threads,
+            "extra": dict(self.extra),
+            "completed": self.completed,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SimResult":
+        """Rebuild a result serialized with :meth:`to_dict`."""
+        return cls(
+            config_name=payload["config_name"],
+            num_cores=int(payload["num_cores"]),
+            total_cycles=int(payload["total_cycles"]),
+            thread_cycles=[int(c) for c in payload["thread_cycles"]],
+            thread_results=list(payload["thread_results"]),
+            stats=StatsRegistry.from_dict(payload.get("stats") or {}),
+            finished_threads=int(payload["finished_threads"]),
+            total_threads=int(payload["total_threads"]),
+            extra=dict(payload.get("extra") or {}),
+            completed=bool(payload.get("completed", True)),
+        )
+
+
+def _jsonify(value: Any) -> Any:
+    """Coerce a thread result into the value JSON serialization would yield."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    return value

@@ -1,0 +1,36 @@
+"""Declarative experiment-run API.
+
+The evaluation grid of the paper — (workload x Table 2 configuration x core
+count x seed) — is expressed as data (:class:`RunSpec` / :class:`SweepSpec`),
+resolved through a :class:`WorkloadRegistry`, executed serially or on a
+process pool, optionally memoized in an on-disk :class:`ResultCache`, and
+driven either from Python (:class:`Runner`) or the ``python -m repro`` CLI.
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.executor import ParallelExecutor, SerialExecutor, execute_spec
+from repro.runner.registry import (
+    REGISTRY,
+    WorkloadRegistry,
+    register_workload,
+    workload_names,
+)
+from repro.runner.runner import Runner, SweepResult, default_runner
+from repro.runner.spec import DEFAULT_SEED, RunSpec, SweepSpec
+
+__all__ = [
+    "DEFAULT_SEED",
+    "RunSpec",
+    "SweepSpec",
+    "WorkloadRegistry",
+    "REGISTRY",
+    "register_workload",
+    "workload_names",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "execute_spec",
+    "ResultCache",
+    "Runner",
+    "SweepResult",
+    "default_runner",
+]

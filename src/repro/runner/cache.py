@@ -1,0 +1,88 @@
+"""On-disk JSON result cache keyed by ``RunSpec.key()``.
+
+Re-running a figure with one changed axis (an extra core count, one more
+configuration) only simulates the delta; every grid point already on disk is
+loaded back instead of re-simulated.  One JSON file per spec keeps concurrent
+sweeps safe — writers go through a same-directory temp file + ``os.replace``
+so readers never observe a partial file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.machine.results import SimResult
+from repro.runner.spec import RunSpec
+
+#: Bump when the on-disk layout or SimResult serialization changes shape.
+CACHE_FORMAT_VERSION = 1
+
+
+class ResultCache:
+    """Directory of ``<spec-key>.json`` files storing serialized results."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ---------------------------------------------------------------- paths
+    def entry_path(self, spec: RunSpec) -> Path:
+        return self.path / f"{spec.key()}.json"
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self.entry_path(spec).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob("*.json"))
+
+    # ------------------------------------------------------------ get / put
+    def get(self, spec: RunSpec) -> Optional[SimResult]:
+        """The cached result for ``spec``, or None on a miss."""
+        entry = self.entry_path(spec)
+        try:
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if payload.get("version") != CACHE_FORMAT_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return SimResult.from_dict(payload["result"])
+
+    def put(self, spec: RunSpec, result: SimResult) -> None:
+        """Store ``result`` under ``spec``'s key (atomic replace)."""
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        handle, temp_name = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream)
+            os.replace(temp_name, self.entry_path(spec))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------- maintenance
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for entry in self.path.glob("*.json"):
+            entry.unlink()
+            removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}

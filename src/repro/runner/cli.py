@@ -1,0 +1,296 @@
+"""``python -m repro``: drive the paper's experiments from the command line.
+
+::
+
+    python -m repro list
+    python -m repro run fig7 --cores 16,32 --configs WiSync,Baseline --parallel 8
+    python -m repro run fig9 --cores 64 --crit 16,256 --json fig9.json
+    python -m repro run fig10 --apps streamcluster,raytrace --cache .wisync-cache
+
+``run`` reports how many grid points were freshly simulated versus served
+from the cache, so a repeated invocation with ``--cache`` visibly performs
+zero new simulations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.runner.cache import ResultCache
+from repro.runner.executor import ParallelExecutor, SerialExecutor
+from repro.runner.registry import workload_names
+from repro.runner.runner import Runner
+
+
+class _CountingExecutor:
+    """Wrap an executor to count how many specs were actually simulated."""
+
+    def __init__(self, inner: Any) -> None:
+        self.inner = inner
+        self.simulated = 0
+
+    def run(self, specs: Sequence[Any], progress: Optional[Any] = None) -> List[Any]:
+        self.simulated += len(specs)
+        return self.inner.run(specs, progress)
+
+
+def _comma_ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _comma_strs(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _json_safe(value: Any) -> Any:
+    """Make experiment tables JSON-serializable (tuple keys -> strings)."""
+    if isinstance(value, dict):
+        return {
+            (",".join(str(p) for p in k) if isinstance(k, tuple) else str(k)): _json_safe(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if hasattr(value, "to_dict"):
+        return _json_safe(value.to_dict())
+    return value
+
+
+# --------------------------------------------------------------------------
+# Experiment adapters: map CLI arguments onto each run_*/format_* pair.
+# --------------------------------------------------------------------------
+def _run_fig7(args: argparse.Namespace, runner: Runner):
+    from repro.experiments import format_fig7, run_fig7
+
+    table = run_fig7(
+        core_counts=args.cores, iterations=args.iterations,
+        configs=args.configs, runner=runner,
+    )
+    return table, format_fig7(table)
+
+
+def _run_fig8(args: argparse.Namespace, runner: Runner):
+    from repro.experiments import format_fig8, run_fig8
+
+    table = run_fig8(
+        core_counts=args.cores, repetitions=args.repetitions,
+        configs=args.configs, runner=runner,
+    )
+    return table, format_fig8(table)
+
+
+def _run_fig9(args: argparse.Namespace, runner: Runner):
+    from repro.experiments import format_fig9, run_fig9
+
+    table = run_fig9(
+        core_counts=args.cores, critical_sections=args.crit,
+        configs=args.configs, runner=runner,
+    )
+    return table, format_fig9(table)
+
+
+def _run_fig10(args: argparse.Namespace, runner: Runner):
+    from repro.experiments import format_fig10, run_fig10
+
+    table = run_fig10(
+        apps=args.apps, num_cores=_single_core_count(args),
+        phase_scale=args.phase_scale, configs=args.configs, runner=runner,
+    )
+    return table, format_fig10(table)
+
+
+def _run_fig11(args: argparse.Namespace, runner: Runner):
+    from repro.experiments import format_fig11, run_fig11
+
+    _warn_fixed_configs(args, "fig11 always compares all four Table 2 configurations")
+    table = run_fig11(
+        apps=args.apps, num_cores=_single_core_count(args),
+        phase_scale=args.phase_scale, variants=args.variants, runner=runner,
+    )
+    return table, format_fig11(table)
+
+
+def _run_table4(args: argparse.Namespace, runner: Runner):
+    from repro.experiments import format_table4, run_table4
+
+    table = run_table4(technology_nm=args.technology_nm, runner=runner)
+    return table, format_table4(table)
+
+
+def _run_table5(args: argparse.Namespace, runner: Runner):
+    from repro.experiments import format_table5, run_table5
+
+    _warn_fixed_configs(args, "table5 always measures WiSyncNoT and WiSync")
+    table = run_table5(
+        apps=args.apps, num_cores=_single_core_count(args),
+        phase_scale=args.phase_scale, runner=runner,
+    )
+    return table, format_table5(table)
+
+
+def _warn_fixed_configs(args: argparse.Namespace, reason: str) -> None:
+    if args.configs is not None:
+        print(f"note: --configs is ignored; {reason}", file=sys.stderr)
+
+
+def _single_core_count(args: argparse.Namespace) -> int:
+    if args.cores is None:
+        return 64
+    if len(args.cores) > 1:
+        print(
+            f"note: this experiment runs at one core count; using {args.cores[0]}",
+            file=sys.stderr,
+        )
+    return args.cores[0]
+
+
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace, Runner], Any]] = {
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "table4": _run_table4,
+    "table5": _run_table5,
+}
+
+
+# --------------------------------------------------------------------------
+# Argument parsing
+# --------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WiSync (ASPLOS'16) reproduction: run the paper's experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list experiments, registered workloads, and configurations"
+    )
+    list_parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment's sweep")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument(
+        "--cores", type=_comma_ints, default=None, metavar="N,N,...",
+        help="core counts to sweep (fig7/8/9) or the single core count (fig10/11, table5)",
+    )
+    run_parser.add_argument(
+        "--configs", type=_comma_strs, default=None, metavar="A,B,...",
+        help="Table 2 configuration labels (default: the experiment's own set)",
+    )
+    run_parser.add_argument(
+        "--parallel", type=int, default=0, metavar="N",
+        help="run the sweep on a process pool with N workers (0 = serial)",
+    )
+    run_parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="directory for the on-disk result cache (created if missing)",
+    )
+    run_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the experiment's structured results to PATH as JSON ('-' = stdout)",
+    )
+    run_parser.add_argument("--quiet", action="store_true", help="suppress the formatted table")
+    # Experiment-specific knobs (ignored by experiments that do not use them).
+    run_parser.add_argument("--iterations", type=int, default=5, help="fig7: loop iterations")
+    run_parser.add_argument("--repetitions", type=int, default=2, help="fig8: loop repetitions")
+    run_parser.add_argument(
+        "--crit", type=_comma_ints, default=None, metavar="N,N,...",
+        help="fig9: critical-section sizes (instructions between CASes)",
+    )
+    run_parser.add_argument(
+        "--apps", type=_comma_strs, default=None, metavar="A,B,...",
+        help="fig10/fig11/table5: application subset",
+    )
+    run_parser.add_argument(
+        "--phase-scale", type=float, default=None,
+        help="fig10/fig11/table5: scale factor on application phases",
+    )
+    run_parser.add_argument(
+        "--variants", type=_comma_strs, default=None, metavar="A,B,...",
+        help="fig11: Table 6 sensitivity variants",
+    )
+    run_parser.add_argument("--technology-nm", type=int, default=22, help="table4: tech node")
+    return parser
+
+
+# --------------------------------------------------------------------------
+# Commands
+# --------------------------------------------------------------------------
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments.common import CONFIG_BUILDERS
+    from repro.experiments.fig11_sensitivity import variant_names
+
+    inventory = {
+        "experiments": sorted(EXPERIMENTS),
+        "workloads": workload_names(),
+        "configs": list(CONFIG_BUILDERS),
+        "variants": variant_names(),
+    }
+    if args.json:
+        print(json.dumps(inventory, indent=2))
+        return 0
+    print("experiments:")
+    for name in inventory["experiments"]:
+        print(f"  {name}")
+    print("workloads (registry):")
+    for name in inventory["workloads"]:
+        print(f"  {name}")
+    print("configurations (Table 2):", ", ".join(inventory["configs"]))
+    print("sensitivity variants (Table 6):", ", ".join(inventory["variants"]))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.parallel < 0:
+        print(f"error: --parallel must be >= 0, got {args.parallel}", file=sys.stderr)
+        return 2
+    if args.phase_scale is None:
+        args.phase_scale = 0.5 if args.experiment == "fig11" else 1.0
+    executor = ParallelExecutor(args.parallel) if args.parallel > 0 else SerialExecutor()
+    counting = _CountingExecutor(executor)
+    cache = ResultCache(args.cache) if args.cache else None
+    runner = Runner(executor=counting, cache=cache)
+    started = time.perf_counter()
+    table, rendered = EXPERIMENTS[args.experiment](args, runner)
+    elapsed = time.perf_counter() - started
+    if not args.quiet:
+        print(rendered)
+    cached = cache.hits if cache is not None else 0
+    print(
+        f"{args.experiment}: {counting.simulated} simulated, {cached} cached, "
+        f"{elapsed:.1f}s"
+        + (f" (parallel={args.parallel})" if args.parallel > 0 else " (serial)"),
+        file=sys.stderr,
+    )
+    if args.json:
+        payload = json.dumps(_json_safe(table), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                stream.write(payload + "\n")
+            print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        return _cmd_run(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

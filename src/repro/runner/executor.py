@@ -1,0 +1,109 @@
+"""Executors: run a batch of RunSpecs serially or on a process pool.
+
+Each :class:`~repro.runner.spec.RunSpec` builds its *own*
+:class:`~repro.machine.manycore.Manycore` inside :func:`execute_spec`, so
+sweep points share no state and are embarrassingly parallel.  The parallel
+executor ships specs to workers as JSON dicts and receives
+:class:`~repro.machine.results.SimResult` dicts back, exercising exactly the
+serialization path the result cache uses; simulation determinism comes from
+the sha256-derived RNG streams, so a worker process reproduces the serial
+cycle counts bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.machine.results import SimResult
+from repro.runner.spec import RunSpec
+
+#: Optional progress hook: called with (index, total, spec, result).
+ProgressHook = Callable[[int, int, RunSpec, SimResult], None]
+
+
+def build_config_for(spec: RunSpec):
+    """Build the (possibly sensitivity-variant) MachineConfig for ``spec``."""
+    from repro.machine.configs import config_by_name, sensitivity_variants
+
+    config = config_by_name(spec.config, num_cores=spec.num_cores, seed=spec.seed)
+    if spec.variant is not None:
+        variants = sensitivity_variants(config)
+        if spec.variant not in variants:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"unknown sensitivity variant {spec.variant!r}; choices: {sorted(variants)}"
+            )
+        config = variants[spec.variant]
+    return config
+
+
+def execute_spec(spec: RunSpec) -> SimResult:
+    """Run one spec end-to-end: config -> machine -> workload -> SimResult."""
+    from repro.machine.manycore import Manycore
+    from repro.runner.registry import REGISTRY
+
+    machine = Manycore(build_config_for(spec))
+    handle = REGISTRY.build(machine, spec.workload, spec.params_dict())
+    return handle.run(max_cycles=spec.max_cycles)
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-process entry point: spec dict in, result dict out.
+
+    Module-level (picklable) and dict-transported so no live simulator
+    objects ever cross the process boundary.
+    """
+    spec = RunSpec.from_dict(payload)
+    return execute_spec(spec).to_dict()
+
+
+class SerialExecutor:
+    """Run specs one after the other in the calling process."""
+
+    def run(
+        self, specs: Sequence[RunSpec], progress: Optional[ProgressHook] = None
+    ) -> List[SimResult]:
+        results: List[SimResult] = []
+        for index, spec in enumerate(specs):
+            result = execute_spec(spec)
+            results.append(result)
+            if progress is not None:
+                progress(index, len(specs), spec, result)
+        return results
+
+
+class ParallelExecutor:
+    """Fan specs out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Results come back in spec order regardless of completion order, so a
+    parallel sweep is a drop-in replacement for a serial one.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers or os.cpu_count() or 1
+
+    def run(
+        self, specs: Sequence[RunSpec], progress: Optional[ProgressHook] = None
+    ) -> List[SimResult]:
+        if len(specs) <= 1 or self.max_workers == 1:
+            return SerialExecutor().run(specs, progress)
+        payloads = [spec.to_dict() for spec in specs]
+        results: List[Optional[SimResult]] = [None] * len(specs)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.max_workers, len(specs))
+        ) as pool:
+            futures = {
+                pool.submit(_execute_payload, payload): index
+                for index, payload in enumerate(payloads)
+            }
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                results[index] = SimResult.from_dict(future.result())
+                if progress is not None:
+                    progress(index, len(specs), specs[index], results[index])
+        return [result for result in results if result is not None]

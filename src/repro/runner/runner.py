@@ -1,0 +1,109 @@
+"""The Runner facade: cache-aware execution of declarative sweeps.
+
+::
+
+    runner = Runner(executor=ParallelExecutor(8), cache=ResultCache(".wisync-cache"))
+    outcome = runner.run(fig7_sweep(core_counts=[16, 32]))
+    outcome.result_for(spec).total_cycles
+
+``Runner.run`` checks the cache first, dispatches only the missing specs to
+the executor, stores fresh results back, and returns a
+:class:`SweepResult` that preserves the sweep's spec order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.machine.results import SimResult
+from repro.runner.cache import ResultCache
+from repro.runner.executor import ProgressHook, SerialExecutor
+from repro.runner.spec import RunSpec, SweepSpec
+
+
+@dataclass
+class SweepResult:
+    """Results of one sweep, in spec order, plus execution bookkeeping."""
+
+    sweep: SweepSpec
+    results: Dict[RunSpec, SimResult]
+    num_simulated: int = 0
+    num_cached: int = 0
+
+    def __iter__(self) -> Iterator[Tuple[RunSpec, SimResult]]:
+        for spec in self.sweep:
+            yield spec, self.results[spec]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def result_for(self, spec: RunSpec) -> SimResult:
+        if spec not in self.results:
+            raise WorkloadError(f"sweep {self.sweep.name!r} holds no result for {spec.label()}")
+        return self.results[spec]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sweep": self.sweep.name,
+            "num_simulated": self.num_simulated,
+            "num_cached": self.num_cached,
+            "runs": [
+                {"spec": spec.to_dict(), "result": result.to_dict()}
+                for spec, result in self
+            ],
+        }
+
+
+class Runner:
+    """Execute sweeps through an executor, with an optional result cache."""
+
+    def __init__(
+        self,
+        executor: Optional[Any] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache
+
+    # ------------------------------------------------------------------ run
+    def run_spec(self, spec: RunSpec) -> SimResult:
+        """Run one spec (through the cache, but not the executor pool)."""
+        outcome = self.run(SweepSpec(name=spec.workload, specs=(spec,)))
+        return outcome.result_for(spec)
+
+    def run(self, sweep: SweepSpec, progress: Optional[ProgressHook] = None) -> SweepResult:
+        """Run every spec of ``sweep``; cached points are not re-simulated."""
+        results: Dict[RunSpec, SimResult] = {}
+        missing: List[RunSpec] = []
+        seen: set = set()
+        for spec in sweep:
+            if spec in seen:
+                continue  # duplicate grid points simulate once
+            seen.add(spec)
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                results[spec] = cached
+            else:
+                missing.append(spec)
+        fresh = self.executor.run(missing, progress) if missing else []
+        if len(fresh) != len(missing):
+            raise WorkloadError(
+                f"executor returned {len(fresh)} results for {len(missing)} specs"
+            )
+        for spec, result in zip(missing, fresh):
+            results[spec] = result
+            if self.cache is not None:
+                self.cache.put(spec, result)
+        return SweepResult(
+            sweep=sweep,
+            results=results,
+            num_simulated=len(missing),
+            num_cached=len(seen) - len(missing),
+        )
+
+
+def default_runner(runner: Optional[Runner] = None) -> Runner:
+    """The runner to use when an experiment is called without one."""
+    return runner if runner is not None else Runner()

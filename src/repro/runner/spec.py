@@ -1,0 +1,183 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` is one point of the paper's evaluation grid: a registered
+workload (by name, with JSON-serializable parameters), one Table 2
+configuration (optionally refined by a Table 6 sensitivity variant), a core
+count, a seed, and an optional cycle budget.  Because a spec is pure data it
+can be hashed (:meth:`RunSpec.key`), shipped to a worker process, stored in a
+result cache, and rebuilt from JSON — the properties the executor and cache
+layers rely on.
+
+A :class:`SweepSpec` is a named, ordered collection of RunSpecs — typically
+the full grid behind one figure or table of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Root seed used throughout the paper's evaluation.
+DEFAULT_SEED = 2016
+
+
+def _freeze(value: Any) -> Any:
+    """Canonicalize ``value`` into a hashable, deterministic form."""
+    if isinstance(value, enum.Enum):
+        return _freeze(value.value)
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise ConfigurationError(
+        f"workload parameter value {value!r} is not JSON-serializable; "
+        "use str/int/float/bool/None, lists, dicts, or Enums"
+    )
+
+
+def _thaw(value: Any) -> Any:
+    """Inverse of :func:`_freeze` for parameter *values* (tuples -> lists)."""
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation of the evaluation grid, as pure data.
+
+    ``params`` may be passed as a dict; it is canonicalized into a sorted
+    tuple of ``(name, value)`` pairs so the spec stays hashable.  Use
+    :meth:`params_dict` to read it back.
+    """
+
+    workload: str
+    config: str
+    num_cores: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+    seed: int = DEFAULT_SEED
+    max_cycles: Optional[int] = None
+    variant: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze(dict(self.params)))
+        if self.num_cores < 1:
+            raise ConfigurationError("RunSpec.num_cores must be positive")
+        if not self.workload:
+            raise ConfigurationError("RunSpec.workload must be a workload name")
+
+    # ------------------------------------------------------------ accessors
+    def params_dict(self) -> Dict[str, Any]:
+        """The workload parameters as a plain keyword-argument dict."""
+        return {name: _thaw(value) for name, value in self.params}
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "params": self.params_dict(),
+            "config": self.config,
+            "variant": self.variant,
+            "num_cores": self.num_cores,
+            "seed": self.seed,
+            "max_cycles": self.max_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunSpec":
+        return cls(
+            workload=payload["workload"],
+            params=tuple(dict(payload.get("params") or {}).items()),
+            config=payload["config"],
+            variant=payload.get("variant"),
+            num_cores=int(payload["num_cores"]),
+            seed=int(payload.get("seed", DEFAULT_SEED)),
+            max_cycles=payload.get("max_cycles"),
+        )
+
+    def key(self) -> str:
+        """Deterministic content hash — stable across processes and hosts.
+
+        Derived from the canonical JSON form (sorted keys), never from
+        ``hash()``, so it is safe to use as a cache filename.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Human-readable one-line description (CLI and progress output)."""
+        config = self.config if not self.variant else f"{self.config}@{self.variant}"
+        params = ",".join(f"{k}={v}" for k, v in self.params)
+        suffix = f"[{params}]" if params else ""
+        return f"{self.workload}{suffix} {config} cores={self.num_cores} seed={self.seed}"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named, ordered grid of :class:`RunSpec` points."""
+
+    name: str
+    specs: Tuple[RunSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __iter__(self) -> Iterator[RunSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    # --------------------------------------------------------- construction
+    @classmethod
+    def grid(
+        cls,
+        name: str,
+        workload: str,
+        configs: Sequence[str],
+        core_counts: Sequence[int],
+        params: Optional[Iterable[Dict[str, Any]]] = None,
+        seeds: Sequence[int] = (DEFAULT_SEED,),
+        max_cycles: Optional[int] = None,
+        variant: Optional[str] = None,
+    ) -> "SweepSpec":
+        """Cross-product sweep over params x core counts x configs x seeds."""
+        param_sets: List[Dict[str, Any]] = list(params) if params is not None else [{}]
+        specs = [
+            RunSpec(
+                workload=workload,
+                params=tuple(param_set.items()),
+                config=config,
+                num_cores=cores,
+                seed=seed,
+                max_cycles=max_cycles,
+                variant=variant,
+            )
+            for param_set in param_sets
+            for cores in core_counts
+            for config in configs
+            for seed in seeds
+        ]
+        return cls(name=name, specs=tuple(specs))
+
+    def extend(self, other: "SweepSpec") -> "SweepSpec":
+        """Concatenate two sweeps under this sweep's name."""
+        return SweepSpec(name=self.name, specs=self.specs + other.specs)
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SweepSpec":
+        return cls(
+            name=payload["name"],
+            specs=tuple(RunSpec.from_dict(entry) for entry in payload.get("specs", [])),
+        )

@@ -131,6 +131,37 @@ class StatsRegistry:
             flat[f"util/{name}/busy_cycles"] = tracker.busy_cycles
         return flat
 
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize every statistic (JSON-safe; inverse of :meth:`from_dict`).
+
+        Histogram samples are stored in full so reconstructed registries
+        answer mean/percentile queries identically to the originals — the
+        property sweeps rely on when results cross a process boundary or
+        come back from the on-disk cache.
+        """
+        return {
+            "counters": {name: counter.value for name, counter in self.counters.items()},
+            "histograms": {name: list(hist.samples) for name, hist in self.histograms.items()},
+            "utilizations": {
+                name: {"busy_cycles": t.busy_cycles, "busy_intervals": t.busy_intervals}
+                for name, t in self.utilizations.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StatsRegistry":
+        """Rebuild a registry serialized with :meth:`to_dict`."""
+        registry = cls()
+        for name, value in (payload.get("counters") or {}).items():
+            registry.counter(name).add(int(value))
+        for name, samples in (payload.get("histograms") or {}).items():
+            registry.histogram(name).samples = [float(s) for s in samples]
+        for name, entry in (payload.get("utilizations") or {}).items():
+            tracker = registry.utilization(name)
+            tracker.busy_cycles = int(entry["busy_cycles"])
+            tracker.busy_intervals = int(entry["busy_intervals"])
+        return registry
+
     def merge(self, other: "StatsRegistry") -> None:
         """Accumulate another registry into this one (used by sweeps)."""
         for name, counter in other.counters.items():

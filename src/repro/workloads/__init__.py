@@ -18,6 +18,7 @@ from repro.workloads.synthetic_apps import (
     AppProfile,
     application_names,
     build_application,
+    build_application_by_name,
     profile_by_name,
 )
 from repro.workloads.tightloop import build_tightloop

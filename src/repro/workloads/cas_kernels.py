@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.isa.operations import Compute, Read, Write
 from repro.machine.manycore import Manycore
+from repro.runner.registry import register_workload
 from repro.sync.api import SyncFactory
 from repro.sync.cells import AtomicCell
 from repro.workloads.base import WorkloadHandle
@@ -51,6 +52,7 @@ def _cas_insert(ctx, cell: AtomicCell, node_value: int):
             return attempts
 
 
+@register_workload("cas")
 def build_cas_kernel(
     machine: Manycore,
     kind: CasKernelKind,

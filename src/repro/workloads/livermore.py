@@ -24,6 +24,7 @@ from typing import Optional
 from repro.errors import WorkloadError
 from repro.isa.operations import Compute, Read
 from repro.machine.manycore import Manycore
+from repro.runner.registry import register_workload
 from repro.sync.api import SyncFactory
 from repro.workloads.base import WorkloadHandle
 
@@ -43,6 +44,7 @@ class LivermoreLoop(enum.IntEnum):
     LINEAR_RECURRENCE = 6
 
 
+@register_workload("livermore")
 def build_livermore_loop(
     machine: Manycore,
     loop: LivermoreLoop,

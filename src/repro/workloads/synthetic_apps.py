@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 from repro.errors import WorkloadError
 from repro.isa.operations import Compute, Read
 from repro.machine.manycore import Manycore
+from repro.runner.registry import register_workload
 from repro.sync.api import SyncFactory
 from repro.workloads.base import WorkloadHandle
 
@@ -177,4 +178,21 @@ def build_application(
             "iterations": phases,
             "suite": 1.0 if profile.suite == "parsec" else 2.0,
         },
+    )
+
+
+@register_workload("application")
+def build_application_by_name(
+    machine: Manycore,
+    app: str,
+    num_threads: Optional[int] = None,
+    phase_scale: float = 1.0,
+) -> WorkloadHandle:
+    """Registry-addressable variant of :func:`build_application`.
+
+    Takes the application *name* instead of an :class:`AppProfile` so that a
+    :class:`~repro.runner.spec.RunSpec` can carry it as a JSON parameter.
+    """
+    return build_application(
+        machine, profile_by_name(app), num_threads=num_threads, phase_scale=phase_scale
     )

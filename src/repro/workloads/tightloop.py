@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.isa.operations import Compute, Read
 from repro.machine.manycore import Manycore
+from repro.runner.registry import register_workload
 from repro.sync.api import SyncFactory
 from repro.workloads.base import WorkloadHandle
 
@@ -21,6 +22,7 @@ ARRAY_ELEMENTS = 50
 CYCLES_PER_ELEMENT = 1
 
 
+@register_workload("tightloop")
 def build_tightloop(
     machine: Manycore,
     iterations: int = 10,

@@ -1,0 +1,296 @@
+"""Tests for the declarative run API (repro.runner)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.experiments.fig9_cas import fig9_sweep
+from repro.machine.configs import wisync
+from repro.machine.manycore import Manycore
+from repro.runner import (
+    REGISTRY,
+    ParallelExecutor,
+    ResultCache,
+    Runner,
+    RunSpec,
+    SerialExecutor,
+    SweepSpec,
+    execute_spec,
+    workload_names,
+)
+from repro.workloads.cas_kernels import CasKernelKind
+from repro.workloads.tightloop import build_tightloop
+
+
+def tightloop_spec(**overrides):
+    base = dict(
+        workload="tightloop",
+        params={"iterations": 2},
+        config="WiSync",
+        num_cores=8,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestRegistry:
+    def test_paper_workloads_registered(self):
+        assert workload_names() == ["application", "cas", "livermore", "tightloop"]
+
+    def test_name_round_trips_to_builder(self):
+        assert REGISTRY.get("tightloop") is build_tightloop
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            REGISTRY.get("does-not-exist")
+
+    def test_registry_builds_a_runnable_handle(self):
+        machine = Manycore(wisync(num_cores=4))
+        handle = REGISTRY.build(machine, "tightloop", {"iterations": 2})
+        assert handle.run().completed
+
+    def test_user_registration_does_not_hide_builtins(self):
+        # A custom workload registered before any lookup must not suppress
+        # the lazy import that registers the built-in workloads.
+        script = (
+            "from repro import register_workload, workload_names\n"
+            "@register_workload('custom-first')\n"
+            "def build(machine):\n"
+            "    raise NotImplementedError\n"
+            "names = workload_names()\n"
+            "assert 'custom-first' in names and 'tightloop' in names, names\n"
+            "print('ok')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True,
+            env={"PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "ok"
+
+
+class TestRunSpec:
+    def test_params_round_trip(self):
+        spec = tightloop_spec(params={"b": 2, "a": [1, 2]})
+        assert spec.params_dict() == {"a": [1, 2], "b": 2}
+
+    def test_hashable_and_order_insensitive(self):
+        first = tightloop_spec(params={"a": 1, "b": 2})
+        second = tightloop_spec(params={"b": 2, "a": 1})
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first.key() == second.key()
+
+    def test_to_from_dict_round_trip(self):
+        spec = tightloop_spec(variant="SlowNet", max_cycles=1000, seed=7)
+        clone = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.key() == spec.key()
+
+    def test_key_differs_per_axis(self):
+        base = tightloop_spec()
+        assert base.key() != tightloop_spec(num_cores=16).key()
+        assert base.key() != tightloop_spec(config="Baseline").key()
+        assert base.key() != tightloop_spec(seed=1).key()
+        assert base.key() != tightloop_spec(params={"iterations": 3}).key()
+
+    def test_key_deterministic_across_processes(self):
+        spec = tightloop_spec(params={"iterations": 4, "array_elements": 10})
+        script = (
+            "from repro.runner.spec import RunSpec;"
+            f"print(RunSpec.from_dict({spec.to_dict()!r}).key())"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")},
+        ).stdout.strip()
+        assert output == spec.key()
+
+    def test_rejects_unserializable_params(self):
+        with pytest.raises(ConfigurationError, match="JSON-serializable"):
+            tightloop_spec(params={"fn": object()})
+
+    def test_rejects_bad_core_count(self):
+        with pytest.raises(ConfigurationError):
+            tightloop_spec(num_cores=0)
+
+
+class TestSweepSpec:
+    def test_grid_cross_product(self):
+        sweep = SweepSpec.grid(
+            name="g", workload="tightloop",
+            configs=["Baseline", "WiSync"], core_counts=[4, 8],
+            params=[{"iterations": 1}, {"iterations": 2}],
+        )
+        assert len(sweep) == 8
+        assert len(set(sweep.specs)) == 8
+
+    def test_round_trip(self):
+        sweep = fig9_sweep(core_counts=[8], critical_sections=[16])
+        clone = SweepSpec.from_dict(json.loads(json.dumps(sweep.to_dict())))
+        assert clone == sweep
+
+
+class TestExecutors:
+    def test_execute_spec_truncation_marks_partial(self):
+        result = execute_spec(tightloop_spec(params={"iterations": 50}, max_cycles=100))
+        assert not result.completed
+        assert result.total_cycles >= 100
+        assert max(result.thread_cycles) <= result.total_cycles
+
+    def test_serial_vs_parallel_equality_on_fig9_sweep(self):
+        sweep = fig9_sweep(
+            kinds=[CasKernelKind.FIFO, CasKernelKind.ADD],
+            core_counts=[8], critical_sections=[16], successes_per_thread=2,
+        )
+        serial = SerialExecutor().run(sweep.specs)
+        parallel = ParallelExecutor(max_workers=2).run(sweep.specs)
+        assert len(serial) == len(parallel) == len(sweep)
+        for mine, theirs in zip(serial, parallel):
+            assert mine.total_cycles == theirs.total_cycles
+            assert mine.thread_cycles == theirs.thread_cycles
+            assert mine.stats.to_dict() == theirs.stats.to_dict()
+
+    def test_parallel_preserves_spec_order(self):
+        specs = [tightloop_spec(num_cores=cores) for cores in (4, 8, 16)]
+        results = ParallelExecutor(max_workers=3).run(specs)
+        assert [r.num_cores for r in results] == [4, 8, 16]
+
+    def test_parallel_progress_hook_index_matches_spec(self):
+        specs = [tightloop_spec(num_cores=cores) for cores in (4, 8, 16)]
+        seen = {}
+        ParallelExecutor(max_workers=3).run(
+            specs, progress=lambda i, n, spec, result: seen.__setitem__(i, spec)
+        )
+        assert seen == {0: specs[0], 1: specs[1], 2: specs[2]}
+
+    def test_completed_flag_matches_finished_threads_at_boundary(self):
+        baseline = execute_spec(tightloop_spec())
+        for budget in (baseline.total_cycles, baseline.total_cycles + 1):
+            result = execute_spec(tightloop_spec(max_cycles=budget))
+            assert result.completed == (
+                result.finished_threads == result.total_threads
+            )
+
+
+class TestSimResultSerialization:
+    def test_round_trip_preserves_metrics(self):
+        from repro.machine.results import SimResult
+
+        result = execute_spec(tightloop_spec())
+        clone = SimResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone.total_cycles == result.total_cycles
+        assert clone.thread_cycles == result.thread_cycles
+        assert clone.thread_results == result.thread_results
+        assert clone.completed == result.completed
+        assert clone.wireless_messages == result.wireless_messages
+        assert clone.data_channel_utilization() == result.data_channel_utilization()
+        assert clone.mean_transfer_latency() == result.mean_transfer_latency()
+        assert clone.summary() == result.summary()
+
+
+class TestCacheAndRunner:
+    def test_cache_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = tightloop_spec()
+        assert cache.get(spec) is None
+        result = execute_spec(spec)
+        cache.put(spec, result)
+        assert spec in cache
+        cached = cache.get(spec)
+        assert cached is not None
+        assert cached.total_cycles == result.total_cycles
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tightloop_spec()
+        cache.entry_path(spec).write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_runner_skips_cached_specs(self, tmp_path):
+        sweep = SweepSpec(name="s", specs=(tightloop_spec(), tightloop_spec(num_cores=4)))
+        runner = Runner(cache=ResultCache(tmp_path))
+        first = runner.run(sweep)
+        assert (first.num_simulated, first.num_cached) == (2, 0)
+        second = runner.run(sweep)
+        assert (second.num_simulated, second.num_cached) == (0, 2)
+        for spec in sweep:
+            assert first.result_for(spec).total_cycles == second.result_for(spec).total_cycles
+
+    def test_runner_deduplicates_grid_points(self):
+        spec = tightloop_spec()
+
+        class CountingSerial(SerialExecutor):
+            calls = 0
+
+            def run(self, specs, progress=None):
+                CountingSerial.calls += len(specs)
+                return super().run(specs, progress)
+
+        outcome = Runner(executor=CountingSerial()).run(SweepSpec(name="d", specs=(spec, spec)))
+        assert CountingSerial.calls == 1
+        assert outcome.result_for(spec).completed
+
+    def test_run_spec_facade(self):
+        result = Runner().run_spec(tightloop_spec())
+        assert result.completed
+        assert result.num_cores == 8
+
+
+class TestLegacyParity:
+    def test_run_fig7_matches_direct_simulation(self):
+        from repro.experiments import run_fig7
+
+        series = run_fig7(core_counts=[8], iterations=2, configs=["WiSync"])
+        direct = build_tightloop(Manycore(wisync(num_cores=8)), iterations=2).run()
+        assert series[8]["WiSync"] == direct.total_cycles / 2
+
+    def test_run_fig7_parallel_matches_serial(self):
+        from repro.experiments import run_fig7
+
+        serial = run_fig7(core_counts=[8], iterations=2)
+        parallel = run_fig7(
+            core_counts=[8], iterations=2,
+            runner=Runner(executor=ParallelExecutor(max_workers=2)),
+        )
+        assert serial == parallel
+
+
+class TestCli:
+    def _repro(self, *argv):
+        env = {"PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")}
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True, text=True, env=env,
+        )
+
+    def test_list(self):
+        proc = self._repro("list", "--json")
+        assert proc.returncode == 0
+        inventory = json.loads(proc.stdout)
+        assert "fig7" in inventory["experiments"]
+        assert "tightloop" in inventory["workloads"]
+
+    def test_run_fig7_with_cache_simulates_once(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        out = str(tmp_path / "out.json")
+        first = self._repro(
+            "run", "fig7", "--cores", "8", "--iterations", "2",
+            "--configs", "WiSync,Baseline+", "--cache", cache_dir, "--json", out, "--quiet",
+        )
+        assert first.returncode == 0, first.stderr
+        assert "2 simulated, 0 cached" in first.stderr
+        second = self._repro(
+            "run", "fig7", "--cores", "8", "--iterations", "2",
+            "--configs", "WiSync,Baseline+", "--cache", cache_dir, "--json", out, "--quiet",
+        )
+        assert second.returncode == 0, second.stderr
+        assert "0 simulated, 2 cached" in second.stderr
+        table = json.loads(Path(out).read_text())
+        assert set(table["8"]) == {"WiSync", "Baseline+"}
