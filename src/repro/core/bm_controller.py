@@ -10,8 +10,7 @@ remote write to the same location arrives in between.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, NamedTuple, Optional, Tuple
 
 from repro.config import BroadcastMemoryConfig
 from repro.errors import MemoryError_
@@ -21,9 +20,13 @@ from repro.wireless.transceiver import Transceiver
 from repro.wireless.channel import WirelessMessage
 
 
-@dataclass(frozen=True)
-class RmwResult:
-    """Outcome of a BM read-modify-write instruction."""
+class RmwResult(NamedTuple):
+    """Outcome of a BM read-modify-write instruction.
+
+    A NamedTuple (not a frozen dataclass): one is created per BM RMW, which
+    is the single most frequent operation in the synchronization-heavy
+    workloads.
+    """
 
     old_value: int
     success: bool

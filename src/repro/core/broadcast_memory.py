@@ -37,6 +37,7 @@ class BroadcastMemory:
     def __init__(self, config: BroadcastMemoryConfig) -> None:
         self.config = config
         self._entries: Dict[int, BmEntry] = {}
+        self._value_mask = (1 << config.entry_bits) - 1
 
     # ------------------------------------------------------------ structure
     @property
@@ -44,10 +45,11 @@ class BroadcastMemory:
         return self.config.num_entries
 
     def entry(self, addr: int) -> BmEntry:
-        self._check_addr(addr)
-        if addr not in self._entries:
-            self._entries[addr] = BmEntry()
-        return self._entries[addr]
+        entry = self._entries.get(addr)
+        if entry is None:
+            self._check_addr(addr)
+            entry = self._entries[addr] = BmEntry()
+        return entry
 
     def allocated_entries(self) -> Iterator[int]:
         return iter(sorted(addr for addr, e in self._entries.items() if e.allocated))
@@ -87,7 +89,7 @@ class BroadcastMemory:
         """Protected write (invoked when a broadcast completes)."""
         entry = self.entry(addr)
         self._check_protection(addr, entry, pid)
-        entry.value = value & ((1 << self.config.entry_bits) - 1)
+        entry.value = value & self._value_mask
 
     def toggle(self, addr: int) -> int:
         """Hardware toggle used by the tone controller at barrier completion.

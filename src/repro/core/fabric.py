@@ -9,7 +9,6 @@ fabric implement the Atomicity Failure Bit and the tone-barrier protocol.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.config import MachineConfig
@@ -30,18 +29,26 @@ from repro.wireless.tone import ToneChannel
 from repro.wireless.transceiver import Transceiver
 
 
-@dataclass
 class _Waiter:
-    predicate: Callable[[int], bool]
-    callback: Callable[[int], None]
+    __slots__ = ("predicate", "callback")
+
+    def __init__(
+        self, predicate: Callable[[int], bool], callback: Callable[[int], None]
+    ) -> None:
+        self.predicate = predicate
+        self.callback = callback
 
 
-@dataclass
 class _PendingRmw:
-    node: int
-    addr: int
-    failed: bool = False
-    on_fail: Optional[Callable[[], None]] = None
+    __slots__ = ("node", "addr", "failed", "on_fail")
+
+    def __init__(
+        self, node: int, addr: int, on_fail: Optional[Callable[[], None]] = None
+    ) -> None:
+        self.node = node
+        self.addr = addr
+        self.failed = False
+        self.on_fail = on_fail
 
 
 class BroadcastFabric:
@@ -75,6 +82,8 @@ class BroadcastFabric:
         self._pending_by_addr: Dict[int, Set[int]] = {}
         self._next_token = 0
         self.total_writes = 0
+        # Flyweight stat handles for the per-broadcast-write hot path.
+        self._writes_applied_counter = self.stats.counter("bm/writes_applied")
 
     # -------------------------------------------------------------- assembly
     def create_node(self, node_id: int) -> WiSyncNode:
@@ -167,9 +176,11 @@ class BroadcastFabric:
         """
         self.memory.write(addr, value, pid)
         self.total_writes += 1
-        self.stats.counter("bm/writes_applied").add()
-        self._fail_pending(addr, sender)
-        self._wake_waiters(addr, value, cycle)
+        self._writes_applied_counter.add()
+        if addr in self._pending_by_addr:
+            self._fail_pending(addr, sender)
+        if addr in self._waiters:
+            self._wake_waiters(addr, value, cycle)
 
     def register_pending_rmw(
         self, node: int, addr: int, on_fail: Optional[Callable[[], None]] = None
@@ -177,7 +188,10 @@ class BroadcastFabric:
         token = self._next_token
         self._next_token += 1
         self._pending_rmw[token] = _PendingRmw(node=node, addr=addr, on_fail=on_fail)
-        self._pending_by_addr.setdefault(addr, set()).add(token)
+        tokens = self._pending_by_addr.get(addr)
+        if tokens is None:
+            tokens = self._pending_by_addr[addr] = set()
+        tokens.add(token)
         return token
 
     def consume_pending_rmw(self, token: int) -> bool:

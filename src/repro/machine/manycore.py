@@ -9,6 +9,7 @@ variables), and the thread resumes when the operation completes.
 
 from __future__ import annotations
 
+import gc
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.config import MachineConfig
@@ -138,6 +139,34 @@ class Manycore:
         self._finished = 0
         self._soft_bm_next = 0
         self._ran = False
+        self._bm_spill_base = self.fabric.allocator.spill_base if self.fabric is not None else 0
+        # Hot-path bindings: one type-keyed dispatch table instead of an
+        # isinstance chain, and bound methods so the inner loop does not
+        # repeat attribute lookups for every executed operation.
+        self._schedule = self.sim.schedule
+        self._dispatch_table: Dict[type, Callable[[SimThread, Any], None]] = {
+            ops.Compute: self._op_compute,
+            ops.Fence: self._op_fence,
+            ops.Read: self._op_read,
+            ops.Write: self._op_write,
+            ops.AtomicOp: self._op_atomic,
+            ops.WaitUntil: self._op_wait_until,
+            ops.BmAlloc: self._handle_bm_alloc,
+            ops.BmFree: self._handle_bm_free,
+            ops.BmLoad: self._handle_bm_load,
+            ops.BmStore: self._handle_bm_store,
+            ops.BmBulkLoad: self._handle_bm_bulk_load,
+            ops.BmBulkStore: self._handle_bm_bulk_store,
+            ops.BmRmw: self._handle_bm_rmw,
+            ops.BmWaitUntil: self._handle_bm_wait,
+            ops.ToneBarrierAlloc: self._handle_tone_alloc,
+            ops.ToneStore: self._handle_tone_store,
+            ops.ToneLoad: self._handle_tone_load,
+            ops.ToneWait: self._handle_tone_wait,
+        }
+        # Bound .get of the table: _resolve_handler memoizes subclasses into
+        # the same dict, so the binding stays valid.
+        self._dispatch_get = self._dispatch_table.get
 
     # -------------------------------------------------------------- programs
     def new_program(self, name: str = "program") -> Program:
@@ -187,25 +216,38 @@ class Manycore:
             thread.context.num_threads = len(self.threads)
         for thread in self.threads:
             self.sim.schedule(0, self._start_thread, thread)
-        events = 0
+        # The engine runs the whole event loop; _advance calls ``sim.stop()``
+        # the moment the last thread finishes, so the driver pays no
+        # per-event Python call to poll for termination.
         truncated = False
-        while self._finished < len(self.threads):
-            progressed = self.sim.step()
-            if not progressed:
-                blocked = [t.thread_id for t in self.threads if not t.finished]
-                raise DeadlockError(
-                    f"simulation deadlocked at cycle {self.sim.now}; "
-                    f"blocked threads: {blocked[:16]}"
-                )
-            events += 1
-            if events > max_events:
-                raise DeadlockError(f"simulation exceeded {max_events} events")
-            if max_cycles is not None and self.sim.now >= max_cycles:
+        sim = self.sim
+        before = sim.events_processed
+        # The event loop allocates millions of short-lived, acyclic objects
+        # (events, heap tuples, operation records); generational GC scans buy
+        # nothing there and cost ~15% of the run.  Reference counting frees
+        # the churn either way, so pause collection for the duration.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            sim.run(max_events=max_events, stop_at=max_cycles)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        if self._finished < len(self.threads):
+            if max_cycles is not None and sim.now >= max_cycles:
                 # Only a truncation if the budget actually cut threads short;
                 # a run whose last thread finishes exactly on the boundary is
                 # still converged.
-                truncated = self._finished < len(self.threads)
-                break
+                truncated = True
+            elif sim.events_processed - before >= max_events:
+                raise DeadlockError(f"simulation exceeded {max_events} events")
+            else:
+                blocked = [t.thread_id for t in self.threads if not t.finished]
+                raise DeadlockError(
+                    f"simulation deadlocked at cycle {sim.now}; "
+                    f"blocked threads: {blocked[:16]}"
+                )
         return self._build_result(truncated)
 
     # ------------------------------------------------------------ internals
@@ -223,7 +265,7 @@ class Manycore:
         self._advance(thread, None)
 
     def _advance(self, thread: SimThread, value: Any) -> None:
-        if thread.finished:
+        if thread.state is ThreadState.FINISHED:
             return
         try:
             operation = thread.generator.send(value)
@@ -232,78 +274,84 @@ class Manycore:
             thread.finish_cycle = self.sim.now
             thread.result = stop.value
             self._finished += 1
+            if self._finished >= len(self.threads):
+                self.sim.stop()
             return
         thread.operations_issued += 1
-        self._dispatch(thread, operation)
+        # Dispatch: one type-keyed dict probe per operation; subclasses fall
+        # back to _resolve_handler, which memoizes them into the table.
+        handler = self._dispatch_get(operation.__class__)
+        if handler is None:
+            handler = self._resolve_handler(thread, operation)
+        handler(thread, operation)
 
     def _resume(self, thread: SimThread, delay: int, value: Any = None) -> None:
-        self.sim.schedule(max(0, delay), self._advance, thread, value)
+        self._schedule(delay if delay > 0 else 0, self._advance, thread, value)
 
     # ------------------------------------------------------------- dispatch
-    def _dispatch(self, thread: SimThread, op: Any) -> None:
-        core = self.cores[thread.core_id]
-        now = self.sim.now
-        # ---------------------------------------------------------- compute
-        if isinstance(op, ops.Compute):
-            core.run_compute(op.cycles)
-            self._resume(thread, op.cycles)
-        elif isinstance(op, ops.Fence):
-            self._resume(thread, op.cycles)
-        # ----------------------------------------------------- cached memory
-        elif isinstance(op, ops.Read):
-            value, completion = self.memory.read(thread.core_id, op.addr, op.size)
-            core.add_memory_stall(completion - now)
-            self._resume(thread, completion - now, value)
-        elif isinstance(op, ops.Write):
-            completion = self.memory.write(thread.core_id, op.addr, op.value, op.size)
-            core.add_memory_stall(completion - now)
-            self._resume(thread, completion - now)
-        elif isinstance(op, ops.AtomicOp):
-            old, success, completion = self.memory.atomic(
-                thread.core_id, op.addr, op.kind, op.operand, op.expected
-            )
-            core.add_memory_stall(completion - now)
-            self._resume(thread, completion - now, (old, success))
-        elif isinstance(op, ops.WaitUntil):
-            self.memory.wait_until(
-                thread.core_id, op.addr, op.predicate,
-                lambda value, _t=thread: self._advance(_t, value),
-            )
-        # -------------------------------------------------- broadcast memory
-        elif isinstance(op, ops.BmAlloc):
-            self._handle_bm_alloc(thread, op)
-        elif isinstance(op, ops.BmFree):
-            self._handle_bm_free(thread, op)
-        elif isinstance(op, ops.BmLoad):
-            self._handle_bm_load(thread, op)
-        elif isinstance(op, ops.BmStore):
-            self._handle_bm_store(thread, op)
-        elif isinstance(op, ops.BmBulkLoad):
-            self._handle_bm_bulk_load(thread, op)
-        elif isinstance(op, ops.BmBulkStore):
-            self._handle_bm_bulk_store(thread, op)
-        elif isinstance(op, ops.BmRmw):
-            self._handle_bm_rmw(thread, op)
-        elif isinstance(op, ops.BmWaitUntil):
-            self._handle_bm_wait(thread, op)
-        # ------------------------------------------------------ tone channel
-        elif isinstance(op, ops.ToneBarrierAlloc):
-            self._handle_tone_alloc(thread, op)
-        elif isinstance(op, ops.ToneStore):
-            self._handle_tone_store(thread, op)
-        elif isinstance(op, ops.ToneLoad):
-            self._handle_tone_load(thread, op)
-        elif isinstance(op, ops.ToneWait):
-            self._handle_tone_wait(thread, op)
+    def _resolve_handler(self, thread: SimThread, op: Any) -> Callable[[SimThread, Any], None]:
+        """Slow path for operation subclasses: resolve by isinstance, memoize."""
+        for op_type, handler in list(self._dispatch_table.items()):
+            if isinstance(op, op_type):
+                self._dispatch_table[op.__class__] = handler
+                return handler
+        raise WorkloadError(f"thread {thread.thread_id} yielded unsupported operation {op!r}")
+
+    # The hottest handlers inline _resume and Core.add_memory_stall: one
+    # schedule call and two attribute updates instead of three method calls
+    # per executed memory operation.
+    def _op_compute(self, thread: SimThread, op: ops.Compute) -> None:
+        cycles = op.cycles
+        self.cores[thread.core_id].run_compute(cycles)
+        self._schedule(cycles if cycles > 0 else 0, self._advance, thread, None)
+
+    def _op_fence(self, thread: SimThread, op: ops.Fence) -> None:
+        cycles = op.cycles
+        self._schedule(cycles if cycles > 0 else 0, self._advance, thread, None)
+
+    def _op_read(self, thread: SimThread, op: ops.Read) -> None:
+        value, completion = self.memory.read(thread.core_id, op.addr, op.size)
+        stall = completion - self.sim.now
+        if stall > 0:
+            self.cores[thread.core_id].memory_stall_cycles += stall
         else:
-            raise WorkloadError(f"thread {thread.thread_id} yielded unsupported operation {op!r}")
+            stall = 0
+        self._schedule(stall, self._advance, thread, value)
+
+    def _op_write(self, thread: SimThread, op: ops.Write) -> None:
+        completion = self.memory.write(thread.core_id, op.addr, op.value, op.size)
+        stall = completion - self.sim.now
+        if stall > 0:
+            self.cores[thread.core_id].memory_stall_cycles += stall
+        else:
+            stall = 0
+        self._schedule(stall, self._advance, thread, None)
+
+    def _op_atomic(self, thread: SimThread, op: ops.AtomicOp) -> None:
+        old, success, completion = self.memory.atomic(
+            thread.core_id, op.addr, op.kind, op.operand, op.expected
+        )
+        stall = completion - self.sim.now
+        if stall > 0:
+            self.cores[thread.core_id].memory_stall_cycles += stall
+        else:
+            stall = 0
+        self._schedule(stall, self._advance, thread, (old, success))
+
+    def _op_wait_until(self, thread: SimThread, op: ops.WaitUntil) -> None:
+        self.memory.wait_until(
+            thread.core_id, op.addr, op.predicate,
+            lambda value, _t=thread: self._advance(_t, value),
+        )
 
     # -------------------------------------------------- BM dispatch helpers
     def _bm_is_soft(self, addr: int) -> bool:
-        """True when the BM address must be served by the cache hierarchy."""
-        if self.fabric is None:
-            return True
-        return self.fabric.is_spilled(addr)
+        """True when the BM address must be served by the cache hierarchy.
+
+        Inlined arithmetic: the spill base is a config constant, so the
+        check is one comparison instead of two calls into the allocator.
+        """
+        return self.fabric is None or addr >= self._bm_spill_base
 
     def _soft_bm_cached_addr(self, addr: int) -> int:
         return SPILL_MEMORY_BASE + addr * 8
@@ -330,7 +378,7 @@ class Manycore:
             value, completion = self.memory.read(thread.core_id, self._soft_bm_cached_addr(op.addr))
             self._resume(thread, completion - self.sim.now, value)
             return
-        node = self.fabric.node(thread.core_id)
+        node = self.fabric.nodes[thread.core_id]
         value, latency = node.bm_controller.load(op.addr)
         self._resume(thread, latency, value)
 
@@ -341,7 +389,7 @@ class Manycore:
             )
             self._resume(thread, completion - self.sim.now)
             return
-        node = self.fabric.node(thread.core_id)
+        node = self.fabric.nodes[thread.core_id]
         node.bm_controller.store(
             op.addr, op.value, lambda cycle, _t=thread: self._advance(_t, None)
         )
@@ -357,7 +405,7 @@ class Manycore:
                 values.append(value)
             self._resume(thread, completion - self.sim.now, tuple(values))
             return
-        node = self.fabric.node(thread.core_id)
+        node = self.fabric.nodes[thread.core_id]
         values, latency = node.bm_controller.bulk_load(op.addr)
         self._resume(thread, latency, values)
 
@@ -373,7 +421,7 @@ class Manycore:
                 )
             self._resume(thread, completion - self.sim.now)
             return
-        node = self.fabric.node(thread.core_id)
+        node = self.fabric.nodes[thread.core_id]
         node.bm_controller.bulk_store(
             op.addr, values, lambda cycle, _t=thread: self._advance(_t, None)
         )
@@ -392,7 +440,7 @@ class Manycore:
             )
             self._resume(thread, completion - self.sim.now, result)
             return
-        node = self.fabric.node(thread.core_id)
+        node = self.fabric.nodes[thread.core_id]
         node.bm_controller.rmw(
             op.addr,
             op.kind,
@@ -434,7 +482,7 @@ class Manycore:
 
     def _handle_tone_store(self, thread: SimThread, op: ops.ToneStore) -> None:
         self._require_tone(thread)
-        node = self.fabric.node(thread.core_id)
+        node = self.fabric.nodes[thread.core_id]
         node.tone_controller.arrive(op.addr)
         self._resume(thread, self.config.bm.round_trip)
 
@@ -471,4 +519,5 @@ class Manycore:
             finished_threads=self._finished,
             total_threads=len(self.threads),
             completed=self._finished == len(self.threads) and not truncated,
+            events_processed=self.sim.events_processed,
         )

@@ -24,6 +24,9 @@ class SimResult:
     #: False when the run was truncated (``max_cycles``) before every thread
     #: finished, letting sweeps distinguish converged runs from partial ones.
     completed: bool = True
+    #: Discrete events the engine fired for this run; the numerator of the
+    #: events/sec throughput metric reported by ``python -m repro profile``.
+    events_processed: int = 0
 
     # ------------------------------------------------------------ durations
     @property
@@ -98,6 +101,7 @@ class SimResult:
             "total_threads": self.total_threads,
             "extra": dict(self.extra),
             "completed": self.completed,
+            "events_processed": self.events_processed,
             "stats": self.stats.to_dict(),
         }
 
@@ -115,6 +119,7 @@ class SimResult:
             total_threads=int(payload["total_threads"]),
             extra=dict(payload.get("extra") or {}),
             completed=bool(payload.get("completed", True)),
+            events_processed=int(payload.get("events_processed", 0)),
         )
 
 

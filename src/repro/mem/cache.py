@@ -27,20 +27,15 @@ class CacheArray:
         self.misses = 0
         self.evictions = 0
 
-    def _set_index(self, line: int) -> int:
-        return line % self.num_sets
-
-    def _set_for(self, line: int) -> OrderedDict:
-        index = self._set_index(line)
-        if index not in self._sets:
-            self._sets[index] = OrderedDict()
-        return self._sets[index]
-
     # ------------------------------------------------------------------ api
+    # The set probe (line % num_sets, get-or-create) is inlined in each
+    # method: lookup/fill run once per modelled memory access, and a helper
+    # call was pure overhead.  Only fill creates sets; the read-only paths
+    # treat a missing set as a miss.
     def lookup(self, line: int, touch: bool = True) -> bool:
         """Return True on hit; update LRU order when ``touch`` is set."""
-        entries = self._set_for(line)
-        if line in entries:
+        entries = self._sets.get(line % self.num_sets)
+        if entries is not None and line in entries:
             if touch:
                 entries.move_to_end(line)
             self.hits += 1
@@ -50,11 +45,15 @@ class CacheArray:
 
     def contains(self, line: int) -> bool:
         """Hit/miss check without disturbing LRU order or statistics."""
-        return line in self._set_for(line)
+        entries = self._sets.get(line % self.num_sets)
+        return entries is not None and line in entries
 
     def fill(self, line: int) -> Optional[int]:
         """Insert a line; return the evicted line number if one was displaced."""
-        entries = self._set_for(line)
+        index = line % self.num_sets
+        entries = self._sets.get(index)
+        if entries is None:
+            entries = self._sets[index] = OrderedDict()
         victim = None
         if line in entries:
             entries.move_to_end(line)
@@ -67,8 +66,8 @@ class CacheArray:
 
     def invalidate(self, line: int) -> bool:
         """Remove a line (coherence invalidation); returns True if present."""
-        entries = self._set_for(line)
-        if line in entries:
+        entries = self._sets.get(line % self.num_sets)
+        if entries is not None and line in entries:
             del entries[line]
             return True
         return False

@@ -41,17 +41,25 @@ class Directory:
         self._entries: Dict[int, DirectoryEntry] = {}
 
     def entry(self, line: int) -> DirectoryEntry:
-        if line not in self._entries:
-            self._entries[line] = DirectoryEntry()
-        return self._entries[line]
+        entry = self._entries.get(line)
+        if entry is None:
+            entry = self._entries[line] = DirectoryEntry()
+        return entry
 
     def lookup(self, line: int) -> Optional[DirectoryEntry]:
         return self._entries.get(line)
 
     # --------------------------------------------------------- transitions
-    def record_read(self, line: int, core: int) -> DirectoryEntry:
-        """Core obtains a shared copy.  A dirty owner (if any) is downgraded."""
-        entry = self.entry(line)
+    def record_read(
+        self, line: int, core: int, entry: Optional[DirectoryEntry] = None
+    ) -> DirectoryEntry:
+        """Core obtains a shared copy.  A dirty owner (if any) is downgraded.
+
+        Callers that already hold the line's entry pass it to skip the
+        second lookup (the entry dict probe sits on the per-access hot path).
+        """
+        if entry is None:
+            entry = self.entry(line)
         if entry.state is LineState.MODIFIED and entry.owner is not None:
             entry.sharers.add(entry.owner)
             entry.owner = None
@@ -59,17 +67,23 @@ class Directory:
         entry.state = LineState.SHARED
         return entry
 
-    def record_write(self, line: int, core: int) -> DirectoryEntry:
+    def record_write(
+        self, line: int, core: int, entry: Optional[DirectoryEntry] = None
+    ) -> DirectoryEntry:
         """Core obtains exclusive ownership; all other copies are invalidated."""
-        entry = self.entry(line)
+        if entry is None:
+            entry = self.entry(line)
         entry.sharers = set()
         entry.owner = core
         entry.state = LineState.MODIFIED
         return entry
 
-    def invalidation_targets(self, line: int, requester: int) -> Set[int]:
+    def invalidation_targets(
+        self, line: int, requester: int, entry: Optional[DirectoryEntry] = None
+    ) -> Set[int]:
         """Cores whose copies must be invalidated before ``requester`` writes."""
-        entry = self.entry(line)
+        if entry is None:
+            entry = self.entry(line)
         targets = set(entry.sharers)
         if entry.owner is not None:
             targets.add(entry.owner)

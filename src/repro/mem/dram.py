@@ -23,13 +23,14 @@ class DramModel:
         self.config = config
         self.stats = stats
         self._controller_free: Dict[int, int] = {}
+        self._accesses_counter = stats.counter("dram/accesses")
 
     def access(self, now: int, controller: int) -> int:
         """Issue a line fetch at cycle ``now``; return its completion cycle."""
         controller = controller % self.config.controllers
         start = max(now, self._controller_free.get(controller, 0))
         self._controller_free[controller] = start + self.CONTROLLER_OCCUPANCY
-        self.stats.counter("dram/accesses").add()
+        self._accesses_counter.add()
         return start + self.config.dram_round_trip
 
     def reset(self) -> None:

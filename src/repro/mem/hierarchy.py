@@ -13,7 +13,6 @@ contended locks expensive at high core counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import MachineConfig
@@ -21,7 +20,7 @@ from repro.errors import MemoryError_
 from repro.isa.operations import RmwKind
 from repro.mem.address import AddressMap
 from repro.mem.cache import CacheArray
-from repro.mem.directory import Directory, LineState
+from repro.mem.directory import Directory, DirectoryEntry, LineState
 from repro.mem.dram import DramModel
 from repro.noc.mesh import MeshNetwork
 from repro.sim.engine import Simulator
@@ -37,11 +36,18 @@ REQUEST_BITS = 64
 LINE_BITS = 512
 
 
-@dataclass
 class _Waiter:
-    core: int
-    predicate: Callable[[int], bool]
-    callback: Callable[[int], None]
+    __slots__ = ("core", "predicate", "callback")
+
+    def __init__(
+        self,
+        core: int,
+        predicate: Callable[[int], bool],
+        callback: Callable[[int], None],
+    ) -> None:
+        self.core = core
+        self.predicate = predicate
+        self.callback = callback
 
 
 class MemorySystem:
@@ -76,6 +82,26 @@ class MemorySystem:
         self._l2_resident: set = set()
         self._line_busy_until: Dict[int, int] = {}
         self._waiters: Dict[int, List[_Waiter]] = {}
+        # Flyweight stat handles, bound once: memory operations are the
+        # hottest call sites in the whole simulator, and per-access
+        # string-keyed registry lookups are pure overhead.
+        # Hot-path constants hoisted out of the config object chains.
+        self._line_bytes = config.cache.line_bytes
+        self._l1_latency = config.cache.l1_latency
+        self._l2_latency = config.cache.l2_latency
+        self._num_cores = config.num_cores
+        self._num_controllers = config.memory.controllers
+        stats = self.stats
+        self._reads_counter = stats.counter("mem/reads")
+        self._read_misses_counter = stats.counter("mem/read_misses")
+        self._writes_counter = stats.counter("mem/writes")
+        self._write_misses_counter = stats.counter("mem/write_misses")
+        self._atomics_counter = stats.counter("mem/atomics")
+        self._spin_waits_counter = stats.counter("mem/spin_waits")
+        self._spin_wakeups_counter = stats.counter("mem/spin_wakeups")
+        self._l2_fills_counter = stats.counter("mem/l2_fills")
+        self._owner_forwards_counter = stats.counter("mem/owner_forwards")
+        self._invalidations_counter = stats.counter("mem/invalidations")
 
     # ------------------------------------------------------------ functional
     def peek(self, addr: int) -> int:
@@ -94,19 +120,21 @@ class MemorySystem:
         """Load; returns ``(value, completion_cycle)``."""
         self._check_core(core)
         now = self.sim.now
-        word = self.address_map.word_of(addr, size)
-        line = self.address_map.line_of(addr)
-        self.stats.counter("mem/reads").add()
+        word = (addr // size) * size
+        line = addr // self._line_bytes
+        self._reads_counter.value += 1
         entry = self.directory.entry(line)
         if self._l1[core].lookup(line) and entry.has_copy(core):
-            completion = now + self.config.cache.l1_latency
-            self.tracer.emit(now, f"core{core}", "mem.read.hit", f"addr={addr:#x}")
+            completion = now + self._l1_latency
+            if self.tracer.enabled:
+                self.tracer.emit(now, f"core{core}", "mem.read.hit", f"addr={addr:#x}")
             return self._values.get(word, 0), completion
-        self.stats.counter("mem/read_misses").add()
-        completion = self._miss_transaction(core, line, now, for_write=False)
+        self._read_misses_counter.value += 1
+        completion = self._miss_transaction(core, line, now, for_write=False, entry=entry)
         self._fill_l1(core, line)
-        self.directory.record_read(line, core)
-        self.tracer.emit(now, f"core{core}", "mem.read.miss", f"addr={addr:#x}")
+        self.directory.record_read(line, core, entry)
+        if self.tracer.enabled:
+            self.tracer.emit(now, f"core{core}", "mem.read.miss", f"addr={addr:#x}")
         return self._values.get(word, 0), completion
 
     # ---------------------------------------------------------------- writes
@@ -114,24 +142,26 @@ class MemorySystem:
         """Store; returns the completion cycle.  Waiters are re-checked."""
         self._check_core(core)
         now = self.sim.now
-        word = self.address_map.word_of(addr, size)
-        line = self.address_map.line_of(addr)
-        self.stats.counter("mem/writes").add()
+        word = (addr // size) * size
+        line = addr // self._line_bytes
+        self._writes_counter.value += 1
         entry = self.directory.entry(line)
         if (
             entry.state is LineState.MODIFIED
             and entry.owner == core
             and self._l1[core].lookup(line)
         ):
-            completion = now + self.config.cache.l1_latency
+            completion = now + self._l1_latency
         else:
-            self.stats.counter("mem/write_misses").add()
-            completion = self._miss_transaction(core, line, now, for_write=True)
+            self._write_misses_counter.value += 1
+            completion = self._miss_transaction(core, line, now, for_write=True, entry=entry)
             self._fill_l1(core, line)
-        self.directory.record_write(line, core)
+        self.directory.record_write(line, core, entry)
         self._values[word] = value
-        self.tracer.emit(now, f"core{core}", "mem.write", f"addr={addr:#x} value={value}")
-        self._notify_waiters(word, value, completion)
+        if self.tracer.enabled:
+            self.tracer.emit(now, f"core{core}", "mem.write", f"addr={addr:#x} value={value}")
+        if word in self._waiters:
+            self._notify_waiters(word, value, completion)
         return completion
 
     # --------------------------------------------------------------- atomics
@@ -152,28 +182,30 @@ class MemorySystem:
         """
         self._check_core(core)
         now = self.sim.now
-        word = self.address_map.word_of(addr)
-        line = self.address_map.line_of(addr)
-        self.stats.counter("mem/atomics").add()
+        word = (addr // 8) * 8
+        line = addr // self._line_bytes
+        self._atomics_counter.value += 1
         entry = self.directory.entry(line)
         if (
             entry.state is LineState.MODIFIED
             and entry.owner == core
             and self._l1[core].lookup(line)
         ):
-            completion = now + self.config.cache.l1_latency
+            completion = now + self._l1_latency
         else:
-            completion = self._miss_transaction(core, line, now, for_write=True)
+            completion = self._miss_transaction(core, line, now, for_write=True, entry=entry)
             self._fill_l1(core, line)
-        self.directory.record_write(line, core)
+        self.directory.record_write(line, core, entry)
         old = self._values.get(word, 0)
         new, success = apply_rmw(kind, old, operand, expected)
         if success:
             self._values[word] = new
-            self._notify_waiters(word, new, completion)
-        self.tracer.emit(
-            now, f"core{core}", "mem.atomic", f"addr={addr:#x} kind={kind.value} old={old}"
-        )
+            if word in self._waiters:
+                self._notify_waiters(word, new, completion)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                now, f"core{core}", "mem.atomic", f"addr={addr:#x} kind={kind.value} old={old}"
+            )
         return old, success, completion
 
     # ----------------------------------------------------------- spin waits
@@ -204,7 +236,7 @@ class MemorySystem:
         self._waiters.setdefault(word, []).append(
             _Waiter(core=core, predicate=predicate, callback=callback)
         )
-        self.stats.counter("mem/spin_waits").add()
+        self._spin_waits_counter.add()
 
     def waiter_count(self, addr: int) -> int:
         """Number of parked spinners on a word (useful for tests)."""
@@ -243,35 +275,46 @@ class MemorySystem:
             )
             delay = max(0, wake_cycle - self.sim.now)
             self.sim.schedule(delay, waiter.callback, value)
-            self.stats.counter("mem/spin_wakeups").add()
+            self._spin_wakeups_counter.add()
 
-    def _miss_transaction(self, core: int, line: int, now: int, for_write: bool) -> int:
+    def _miss_transaction(
+        self,
+        core: int,
+        line: int,
+        now: int,
+        for_write: bool,
+        entry: Optional["DirectoryEntry"] = None,
+    ) -> int:
         """Timing of a miss/upgrade transaction through the home bank."""
-        cfg = self.config.cache
-        home = self.address_map.home_bank(line * cfg.line_bytes)
+        # line % num_cores == AddressMap.home_bank(line * line_bytes); the
+        # direct form skips re-deriving the line from a synthesized address.
+        home = line % self._num_cores
+        unicast = self.mesh.unicast
         # Miss detected in L1, request travels to the home bank.
-        t = now + cfg.l1_latency
-        t = self.mesh.unicast(t, core, home, REQUEST_BITS)
+        t = now + self._l1_latency
+        t = unicast(t, core, home, REQUEST_BITS)
         # Conflicting transactions on the same line serialize at the home bank.
-        t = max(t, self._line_busy_until.get(line, 0))
+        busy = self._line_busy_until.get(line, 0)
+        if busy > t:
+            t = busy
         # L2 lookup; first touch of a line comes from DRAM.
         if line in self._l2_resident:
-            t += cfg.l2_latency
+            t += self._l2_latency
         else:
-            controller = self.address_map.memory_controller(line * cfg.line_bytes)
-            t = self.dram.access(t, controller)
+            t = self.dram.access(t, line % self._num_controllers)
             self._l2_resident.add(line)
-            self.stats.counter("mem/l2_fills").add()
-        entry = self.directory.entry(line)
+            self._l2_fills_counter.value += 1
+        if entry is None:
+            entry = self.directory.entry(line)
         # Fetch the dirty copy from a remote owner if there is one.
         if entry.state is LineState.MODIFIED and entry.owner is not None and entry.owner != core:
-            t = self.mesh.unicast(t, home, entry.owner, REQUEST_BITS)
-            t += cfg.l1_latency
-            t = self.mesh.unicast(t, entry.owner, home, LINE_BITS)
-            self.stats.counter("mem/owner_forwards").add()
+            t = unicast(t, home, entry.owner, REQUEST_BITS)
+            t += self._l1_latency
+            t = unicast(t, entry.owner, home, LINE_BITS)
+            self._owner_forwards_counter.value += 1
         # Writes must invalidate every other copy and collect acks.
         if for_write:
-            targets = self.directory.invalidation_targets(line, core)
+            targets = self.directory.invalidation_targets(line, core, entry)
             if targets:
                 ack_time = t
                 for index, target in enumerate(sorted(targets)):
@@ -280,12 +323,11 @@ class MemorySystem:
                     self._l1[target].invalidate(line)
                     ack = arrive + self.mesh.flight_latency(target, home, REQUEST_BITS)
                     ack_time = max(ack_time, ack)
-                    self.stats.counter("mem/invalidations").add()
+                    self._invalidations_counter.add()
                 t = ack_time
         self._line_busy_until[line] = t
         # Data/ownership grant returns to the requester.
-        t = self.mesh.unicast(t, home, core, LINE_BITS)
-        return t
+        return unicast(t, home, core, LINE_BITS)
 
     def _fill_l1(self, core: int, line: int) -> None:
         victim = self._l1[core].fill(line)

@@ -6,11 +6,18 @@ effect that matters most for the paper's results: when many requests converge
 on one node (the home L2 bank of a contended lock or barrier counter), they
 are served one after another, which is what makes conventional centralized
 synchronization scale poorly.
+
+Every unicast is on the simulation's hottest path (each cache miss performs
+several), so the model memoizes pure functions of the topology and config —
+flight latencies per (src, dst, bits) and flit counts per message size — and
+binds its stat counters once instead of doing string-keyed lookups per
+message.  All cached values are deterministic functions of immutable config,
+so results are bit-identical to the uncached model.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.config import NocConfig
 from repro.noc.broadcast_tree import BroadcastTree
@@ -35,26 +42,66 @@ class MeshNetwork:
         self._ejection_free: Dict[int, int] = {}
         # Earliest cycle at which each node's injection port is free again.
         self._injection_free: Dict[int, int] = {}
+        # Memoized pure-function tables (lazy: only pairs actually used).
+        self._flight_cache: Dict[Tuple[int, int, int], int] = {}
+        self._flit_cache: Dict[int, int] = {}
+        # (src, dst, bits) -> (occupancy, flight) for the unicast fast path.
+        self._unicast_cache: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        # Flyweight stat handles, bound once.
+        self._messages_counter = self.stats.counter("noc/messages")
+        self._flit_cycles_counter = self.stats.counter("noc/flit_cycles")
+        self._broadcasts_counter = self.stats.counter("noc/broadcasts")
+
+    # -------------------------------------------------------------- caching
+    def _cycles_per_flit(self, message_bits: int) -> int:
+        occupancy = self._flit_cache.get(message_bits)
+        if occupancy is None:
+            occupancy = self._flit_cache[message_bits] = self.config.cycles_per_flit(
+                message_bits
+            )
+        return occupancy
 
     # --------------------------------------------------------------- unicast
     def flight_latency(self, src: int, dst: int, message_bits: int = 128) -> int:
         """Pure wire latency of a unicast message, without port contention."""
+        key = (src, dst, message_bits)
+        latency = self._flight_cache.get(key)
+        if latency is not None:
+            return latency
         if src == dst:
-            return self.config.router_latency
-        hops = self.topology.hop_distance(src, dst)
-        serialization = self.config.cycles_per_flit(message_bits) - 1
-        return hops * self.config.hop_latency + self.config.router_latency + serialization
+            latency = self.config.router_latency
+        else:
+            hops = self.topology.hop_distance(src, dst)
+            serialization = self._cycles_per_flit(message_bits) - 1
+            latency = (
+                hops * self.config.hop_latency + self.config.router_latency + serialization
+            )
+        self._flight_cache[key] = latency
+        return latency
 
     def unicast(self, now: int, src: int, dst: int, message_bits: int = 128) -> int:
         """Send a message now; return its arrival cycle (with port contention)."""
-        inject_at = max(now, self._injection_free.get(src, 0))
-        occupancy = self.config.cycles_per_flit(message_bits)
-        self._injection_free[src] = inject_at + occupancy
-        arrival = inject_at + self.flight_latency(src, dst, message_bits)
-        eject_at = max(arrival, self._ejection_free.get(dst, 0))
-        self._ejection_free[dst] = eject_at + occupancy
-        self.stats.counter("noc/messages").add()
-        self.stats.counter("noc/flit_cycles").add(occupancy)
+        key = (src, dst, message_bits)
+        cached = self._unicast_cache.get(key)
+        if cached is None:
+            cached = self._unicast_cache[key] = (
+                self._cycles_per_flit(message_bits),
+                self.flight_latency(src, dst, message_bits),
+            )
+        occupancy, flight = cached
+        injection = self._injection_free
+        inject_at = injection.get(src, 0)
+        if now > inject_at:
+            inject_at = now
+        injection[src] = inject_at + occupancy
+        arrival = inject_at + flight
+        ejection = self._ejection_free
+        eject_at = ejection.get(dst, 0)
+        if arrival > eject_at:
+            eject_at = arrival
+        ejection[dst] = eject_at + occupancy
+        self._messages_counter.value += 1
+        self._flit_cycles_counter.value += occupancy
         return eject_at + occupancy
 
     def round_trip(self, now: int, src: int, dst: int, request_bits: int = 128,
@@ -74,16 +121,16 @@ class MeshNetwork:
         """
         if self.config.tree_broadcast:
             depth = self.tree.depth(src)
-            serialization = self.config.cycles_per_flit(message_bits) - 1
+            serialization = self._cycles_per_flit(message_bits) - 1
             latency = depth * self.config.hop_latency + self.config.router_latency + serialization
-            self.stats.counter("noc/broadcasts").add()
+            self._broadcasts_counter.add()
             return now + latency
         last_arrival = now
         for dst in self.topology.nodes():
             if dst == src:
                 continue
             last_arrival = max(last_arrival, self.unicast(now, src, dst, message_bits))
-        self.stats.counter("noc/broadcasts").add()
+        self._broadcasts_counter.add()
         return last_arrival
 
     def multicast(self, now: int, src: int, dsts, message_bits: int = 128) -> int:

@@ -6,10 +6,13 @@
     python -m repro run fig7 --cores 16,32 --configs WiSync,Baseline --parallel 8
     python -m repro run fig9 --cores 64 --crit 16,256 --json fig9.json
     python -m repro run fig10 --apps streamcluster,raytrace --cache .wisync-cache
+    python -m repro profile fig7 --quick --baseline BENCH_fig7.json
 
 ``run`` reports how many grid points were freshly simulated versus served
 from the cache, so a repeated invocation with ``--cache`` visibly performs
-zero new simulations.
+zero new simulations.  ``profile`` times a pinned sweep, writes a
+``BENCH_<experiment>.json`` throughput record, and can gate on a committed
+baseline (used by the CI perf-smoke job).
 """
 
 from __future__ import annotations
@@ -218,6 +221,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="fig11: Table 6 sensitivity variants",
     )
     run_parser.add_argument("--technology-nm", type=int, default=22, help="table4: tech node")
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="time a pinned sweep, write BENCH_<experiment>.json, optionally gate on a baseline",
+    )
+    from repro.runner.profile import profile_names
+
+    profile_parser.add_argument("experiment", choices=profile_names())
+    profile_parser.add_argument(
+        "--quick", action="store_true",
+        help="use the smaller pinned grid (what the CI perf-smoke job runs)",
+    )
+    profile_parser.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="repeat the sweep N times and report the best wall-clock (default 3)",
+    )
+    profile_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="where to write the benchmark record (default BENCH_<experiment>.json)",
+    )
+    profile_parser.add_argument(
+        "--no-write", action="store_true", help="do not write the benchmark record"
+    )
+    profile_parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="committed BENCH_*.json to gate against (non-zero exit on regression)",
+    )
+    profile_parser.add_argument(
+        "--max-regression", type=float, default=0.30, metavar="FRACTION",
+        help="allowed events/sec drop versus the baseline before failing (default 0.30)",
+    )
     return parser
 
 
@@ -281,11 +315,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.runner.profile import (
+        compare_to_baseline,
+        default_bench_path,
+        format_record,
+        run_profile,
+        write_bench,
+    )
+
+    record = run_profile(args.experiment, quick=args.quick, repeats=args.repeats)
+    print(format_record(record))
+    if not args.no_write:
+        path = args.output or default_bench_path(args.experiment)
+        write_bench(record, path)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.baseline:
+        failure = compare_to_baseline(record, args.baseline, args.max_regression)
+        if failure is not None:
+            print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"perf gate OK (baseline {args.baseline})", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
         return _cmd_run(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -4,6 +4,13 @@ Every timing model in the library (caches, mesh network, wireless channels,
 cores) shares a single :class:`Simulator` instance and advances time by
 scheduling callbacks.  Time is measured in integer processor cycles at the
 paper's 1 GHz clock, so one cycle is also one nanosecond.
+
+The event queue is engineered for the hot path: heap entries are plain
+``(time, priority, seq, event)`` tuples (compared in C — ``seq`` is unique,
+so the trailing :class:`~repro.sim.events.Event` record is never compared),
+events are ``__slots__`` records rather than dataclasses, ``run``/``step``/
+``drain`` all share one loop, and cancelled events are counted and lazily
+compacted out of the heap instead of accumulating until popped.
 """
 
 from __future__ import annotations
@@ -18,28 +25,28 @@ from repro.sim.events import Event
 class Simulator:
     """A deterministic event-driven simulator with integer cycle time."""
 
+    #: Cancelled entries tolerated before the queue is compacted in place.
+    COMPACT_THRESHOLD = 512
+
     def __init__(self) -> None:
-        self._now: int = 0
+        #: Current simulation time in cycles.  Plain attributes (not
+        #: properties): ``now`` is read on every hot path in the library and
+        #: a property descriptor call per read is measurable overhead.
+        #: Treat both as read-only from outside the engine.
+        self.now: int = 0
+        #: Number of events fired so far (cancelled events excluded).
+        self.events_processed: int = 0
         self._queue: list = []
         self._seq: int = 0
         self._running: bool = False
-        self._events_processed: int = 0
+        self._cancelled: int = 0
+        self._stop: bool = False
 
     # ------------------------------------------------------------------ time
     @property
-    def now(self) -> int:
-        """Current simulation time in cycles."""
-        return self._now
-
-    @property
-    def events_processed(self) -> int:
-        """Number of events fired so far (cancelled events excluded)."""
-        return self._events_processed
-
-    @property
     def pending_events(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still in the queue."""
+        return len(self._queue) - self._cancelled
 
     # ------------------------------------------------------------ scheduling
     def schedule(
@@ -52,7 +59,12 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + int(delay), callback, *args, priority=priority)
+        time = self.now + int(delay)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, args, self)
+        heapq.heappush(self._queue, (time, priority, seq, event))
+        return event
 
     def schedule_at(
         self,
@@ -63,67 +75,149 @@ class Simulator:
     ) -> Event:
         """Schedule ``callback(*args)`` at absolute cycle ``time``."""
         time = int(time)
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at cycle {time}, current cycle is {self._now}"
+                f"cannot schedule at cycle {time}, current cycle is {self.now}"
             )
-        event = Event(time=time, priority=priority, seq=self._seq, callback=callback, args=args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, args, self)
+        heapq.heappush(self._queue, (time, priority, seq, event))
         return event
 
+    # -------------------------------------------------------- cancellation
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` for events still in the queue."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= self.COMPACT_THRESHOLD
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, preserving pop order.
+
+        In-place (slice assignment) so a loop holding a reference to the
+        queue list keeps seeing the live heap.  Entries keep their unique
+        ``(time, priority, seq)`` keys, so the heap pops in exactly the same
+        order after compaction.
+        """
+        queue = self._queue
+        live = [entry for entry in queue if not entry[3].cancelled]
+        for entry in queue:
+            event = entry[3]
+            if event.cancelled:
+                event._sim = None
+        queue[:] = live
+        heapq.heapify(queue)
+        self._cancelled = 0
+
     # --------------------------------------------------------------- running
+    def stop(self) -> None:
+        """Request the current run loop to return after the event in flight.
+
+        Lets a callback end the run the moment a termination condition is
+        met (e.g. the last workload thread finishing) without the driver
+        paying a per-event Python call to poll for it.
+        """
+        self._stop = True
+
+    def _loop(
+        self,
+        until: Optional[int],
+        max_events: Optional[int],
+        stop_at: Optional[int] = None,
+    ) -> int:
+        """The one event loop behind run/step/drain; returns events fired.
+
+        ``until`` is a pre-fire bound: events past it stay queued and time
+        advances to exactly ``until``.  ``stop_at`` is a post-fire bound:
+        the event that reaches (or crosses) it still fires, matching the
+        truncation semantics of ``Manycore.run(max_cycles=...)``.
+        """
+        queue = self._queue
+        heappop = heapq.heappop
+        fired = 0
+        while queue:
+            if max_events is not None and fired >= max_events:
+                return fired
+            entry = queue[0]
+            event = entry[3]
+            if event.cancelled:
+                heappop(queue)
+                self._cancelled -= 1
+                event._sim = None
+                continue
+            time = entry[0]
+            if until is not None and time > until:
+                self.now = until
+                return fired
+            heappop(queue)
+            event._sim = None
+            self.now = time
+            self.events_processed += 1
+            event.callback(*event.args)
+            fired += 1
+            if self._stop:
+                self._stop = False
+                return fired
+            if stop_at is not None and time >= stop_at:
+                return fired
+        if until is not None and until > self.now:
+            self.now = until
+        return fired
+
     def step(self) -> bool:
         """Fire the next non-cancelled event.  Returns False if queue empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if event.time < self._now:
-                raise SimulationError("event queue corrupted: time went backwards")
-            self._now = event.time
-            self._events_processed += 1
-            event.fire()
-            return True
-        return False
+        return self._loop(None, 1) > 0
 
-    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Run until the queue drains, ``until`` cycles, or ``max_events``.
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+        stop_at: Optional[int] = None,
+    ) -> int:
+        """Run until the queue drains, a bound is hit, or :meth:`stop` is called.
 
-        Returns the simulation time at which the run stopped.
+        ``until`` stops *before* firing events beyond it (and advances time
+        to ``until``); ``stop_at`` stops *after* firing the event that
+        reached it.  Returns the simulation time at which the run stopped.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run call)")
         self._running = True
-        fired = 0
+        self._stop = False
         try:
-            while self._queue:
-                if max_events is not None and fired >= max_events:
-                    break
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and event.time > until:
-                    self._now = until
-                    break
-                heapq.heappop(self._queue)
-                self._now = event.time
-                self._events_processed += 1
-                event.fire()
-                fired += 1
-            else:
-                if until is not None and until > self._now:
-                    self._now = until
+            self._loop(until, max_events, stop_at)
         finally:
             self._running = False
-        return self._now
+        return self.now
 
     def drain(self, max_events: int = 10_000_000) -> int:
-        """Run until no events remain, guarding against runaway simulations."""
-        count = 0
-        while self.step():
-            count += 1
-            if count > max_events:
-                raise SimulationError(f"simulation exceeded {max_events} events; likely livelock")
-        return self._now
+        """Run until no events remain, guarding against runaway simulations.
+
+        Unlike :meth:`run`, draining ignores :meth:`stop` requests: it keeps
+        looping until the queue is truly empty (or the event budget is
+        spent), so a callback-driven stop never masquerades as a livelock.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant drain call)")
+        self._running = True
+        self._stop = False
+        remaining = max_events
+        try:
+            while True:
+                before = self.events_processed
+                self._loop(None, remaining)
+                remaining -= self.events_processed - before
+                if self.pending_events == 0:
+                    return self.now
+                if remaining <= 0:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; likely livelock"
+                    )
+                # _loop returned early because a callback called stop();
+                # keep draining the remainder.
+        finally:
+            self._running = False

@@ -2,32 +2,47 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """Handle to one scheduled callback.
 
-    Events are ordered by ``(time, priority, seq)``.  ``seq`` is a
-    monotonically increasing tie-breaker assigned by the simulator so that
-    events scheduled earlier run earlier at the same cycle, which keeps every
-    simulation fully deterministic.
+    The simulator's heap holds plain ``(time, priority, seq, event)`` tuples
+    that compare in C; ``seq`` is a unique monotonically increasing
+    tie-breaker assigned by the simulator, so comparisons never reach the
+    event object itself and ordering stays ``(time, priority, seq)`` — events
+    scheduled earlier run earlier at the same cycle, which keeps every
+    simulation fully deterministic.  The ``Event`` is the mutable half of the
+    entry: callback, args, and the cancellation flag, in a ``__slots__``
+    record so the per-event allocation stays cheap.
     """
 
-    time: int
-    priority: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: Tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: int,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        sim: Optional[object] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        # Back-reference so cancellation can be counted (and compacted away)
+        # by the owning simulator; cleared when the event leaves the queue.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when it is popped."""
-        self.cancelled = True
-
-    def fire(self) -> None:
-        """Invoke the callback unless the event was cancelled."""
         if not self.cancelled:
-            self.callback(*self.args)
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancelled()

@@ -4,6 +4,15 @@ The registry is intentionally simple: named counters, histograms, and
 time-weighted utilization trackers.  Experiments read these to produce the
 paper's tables (e.g. Table 5 reports Data-channel utilization as a percentage
 of total cycles).
+
+The stat objects are flyweights: hot-path models call
+``registry.counter(name)`` **once at construction** and keep the returned
+handle, so recording a sample is a single attribute update with no
+string-keyed lookup.  Because handles may be bound eagerly (before any event
+touches them), :meth:`StatsRegistry.snapshot` and
+:meth:`StatsRegistry.to_dict` skip stats that never recorded anything —
+results are therefore independent of when (or whether) a model bound its
+handles.
 """
 
 from __future__ import annotations
@@ -14,6 +23,8 @@ from typing import Dict, List, Optional
 
 class Counter:
     """A monotonically increasing named counter."""
+
+    __slots__ = ("name", "value")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -30,14 +41,23 @@ class Counter:
 
 
 class Histogram:
-    """Streaming histogram with mean/min/max/percentile support."""
+    """Streaming histogram with mean/min/max/percentile support.
+
+    Percentile queries sort the samples; the sorted view is cached and
+    invalidated by :meth:`record`, so repeated percentile queries between
+    records cost one sort total.
+    """
+
+    __slots__ = ("name", "samples", "_sorted")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
 
     def record(self, value: float) -> None:
         self.samples.append(float(value))
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -63,7 +83,9 @@ class Histogram:
         """Return the ``fraction`` (0..1) percentile of recorded samples."""
         if not self.samples:
             return 0.0
-        ordered = sorted(self.samples)
+        ordered = self._sorted
+        if ordered is None or len(ordered) != len(self.samples):
+            ordered = self._sorted = sorted(self.samples)
         index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
         return ordered[index]
 
@@ -73,6 +95,8 @@ class UtilizationTracker:
 
     Used for the wireless Data channel (Table 5) and for NoC links.
     """
+
+    __slots__ = ("name", "busy_cycles", "busy_intervals")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -120,15 +144,24 @@ class StatsRegistry:
         return counter.value if counter is not None else default
 
     def snapshot(self) -> Dict[str, float]:
-        """Flatten all statistics into a plain dictionary for reporting."""
+        """Flatten all statistics into a plain dictionary for reporting.
+
+        Stats that never recorded anything (zero counters, empty histograms,
+        trackers with no busy intervals) are omitted: they are artifacts of
+        eagerly bound flyweight handles, and omitting them keeps snapshots
+        identical whether handles were bound eagerly or on first use.
+        """
         flat: Dict[str, float] = {}
         for name, counter in self.counters.items():
-            flat[f"counter/{name}"] = counter.value
+            if counter.value:
+                flat[f"counter/{name}"] = counter.value
         for name, histogram in self.histograms.items():
-            flat[f"hist/{name}/count"] = histogram.count
-            flat[f"hist/{name}/mean"] = histogram.mean
+            if histogram.samples:
+                flat[f"hist/{name}/count"] = histogram.count
+                flat[f"hist/{name}/mean"] = histogram.mean
         for name, tracker in self.utilizations.items():
-            flat[f"util/{name}/busy_cycles"] = tracker.busy_cycles
+            if tracker.busy_intervals:
+                flat[f"util/{name}/busy_cycles"] = tracker.busy_cycles
         return flat
 
     def to_dict(self) -> Dict[str, object]:
@@ -137,14 +170,20 @@ class StatsRegistry:
         Histogram samples are stored in full so reconstructed registries
         answer mean/percentile queries identically to the originals — the
         property sweeps rely on when results cross a process boundary or
-        come back from the on-disk cache.
+        come back from the on-disk cache.  Untouched stats are skipped for
+        the same reason they are skipped in :meth:`snapshot`.
         """
         return {
-            "counters": {name: counter.value for name, counter in self.counters.items()},
-            "histograms": {name: list(hist.samples) for name, hist in self.histograms.items()},
+            "counters": {
+                name: counter.value for name, counter in self.counters.items() if counter.value
+            },
+            "histograms": {
+                name: list(hist.samples) for name, hist in self.histograms.items() if hist.samples
+            },
             "utilizations": {
                 name: {"busy_cycles": t.busy_cycles, "busy_intervals": t.busy_intervals}
                 for name, t in self.utilizations.items()
+                if t.busy_intervals
             },
         }
 
@@ -169,6 +208,7 @@ class StatsRegistry:
         for name, histogram in other.histograms.items():
             mine = self.histogram(name)
             mine.samples.extend(histogram.samples)
+            mine._sorted = None
         for name, tracker in other.utilizations.items():
             mine_u = self.utilization(name)
             mine_u.busy_cycles += tracker.busy_cycles

@@ -30,6 +30,13 @@ class Tracer:
         self.records: List[TraceRecord] = []
 
     def emit(self, cycle: int, source: str, kind: str, detail: str = "") -> None:
+        """Record one trace event (no-op when disabled).
+
+        Hot call sites must check :attr:`enabled` *before* building the
+        ``detail`` string (``if tracer.enabled: tracer.emit(..., f"...")``)
+        so that disabled tracing costs one attribute check instead of an
+        f-string format per event.
+        """
         if not self.enabled:
             return
         if self.capacity is not None and len(self.records) >= self.capacity:

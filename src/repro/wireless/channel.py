@@ -12,8 +12,7 @@ their chip-wide total order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from repro.config import DataChannelConfig
 from repro.errors import WirelessError
@@ -26,30 +25,42 @@ from repro.sim.trace import Tracer
 ARBITRATION_PRIORITY = 10
 
 
-@dataclass(frozen=True)
-class WirelessMessage:
-    """One Data-channel transfer (Section 4.1 message format)."""
+class WirelessMessage(NamedTuple):
+    """One Data-channel transfer (Section 4.1 message format).
+
+    A NamedTuple rather than a frozen dataclass: messages are created on
+    every broadcast store and frozen-dataclass construction (one guarded
+    ``object.__setattr__`` per field) is measurably slower.
+    """
 
     sender: int
     bm_addr: int
     value: int = 0
     bulk: bool = False
     tone_bit: bool = False
-    bulk_values: Tuple[int, ...] = field(default=())
+    bulk_values: Tuple[int, ...] = ()
 
     def duration(self, config: DataChannelConfig) -> int:
         """Channel occupancy of this message in cycles."""
         return config.bulk_message_cycles if self.bulk else config.message_cycles
 
 
-@dataclass
 class _Attempt:
-    message: WirelessMessage
-    on_complete: Callable[[WirelessMessage, int], None]
-    on_collision: Callable[[WirelessMessage], int]
-    enqueued_at: int
-    cancelled: bool = False
-    started: bool = False
+    __slots__ = ("message", "on_complete", "on_collision", "enqueued_at", "cancelled", "started")
+
+    def __init__(
+        self,
+        message: WirelessMessage,
+        on_complete: Callable[[WirelessMessage, int], None],
+        on_collision: Callable[[WirelessMessage], int],
+        enqueued_at: int,
+    ) -> None:
+        self.message = message
+        self.on_complete = on_complete
+        self.on_collision = on_collision
+        self.enqueued_at = enqueued_at
+        self.cancelled = False
+        self.started = False
 
 
 class TransmissionHandle:
@@ -96,10 +107,18 @@ class DataChannel:
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self._busy_until: int = 0
         self._attempts_by_cycle: Dict[int, List[_Attempt]] = {}
-        self._arbitration_scheduled: Dict[int, bool] = {}
+        #: Cycles with an arbitration event already scheduled (set semantics:
+        #: a cycle is either pending or not — no per-cycle flag values).
+        self._arbitration_pending: Set[int] = set()
         self._listeners: List[Callable[[WirelessMessage, int], None]] = []
         self.total_messages = 0
         self.total_collisions = 0
+        # Flyweight stat handles, bound once so the per-message hot path does
+        # no string-keyed registry lookups.
+        self._messages_counter = self.stats.counter("wireless/messages")
+        self._collisions_counter = self.stats.counter("wireless/collisions")
+        self._channel_util = self.stats.utilization("wireless/data_channel")
+        self._latency_hist = self.stats.histogram("wireless/transfer_latency")
 
     # ------------------------------------------------------------ listeners
     def add_listener(self, callback: Callable[[WirelessMessage, int], None]) -> None:
@@ -146,13 +165,13 @@ class DataChannel:
         if cycle < self.sim.now:
             raise WirelessError("attempt registered in the past")
         self._attempts_by_cycle.setdefault(cycle, []).append(attempt)
-        if not self._arbitration_scheduled.get(cycle):
-            self._arbitration_scheduled[cycle] = True
+        if cycle not in self._arbitration_pending:
+            self._arbitration_pending.add(cycle)
             self.sim.schedule_at(cycle, self._arbitrate, cycle, priority=ARBITRATION_PRIORITY)
 
     def _arbitrate(self, cycle: int) -> None:
         attempts = self._attempts_by_cycle.pop(cycle, [])
-        self._arbitration_scheduled.pop(cycle, None)
+        self._arbitration_pending.discard(cycle)
         attempts = [attempt for attempt in attempts if not attempt.cancelled]
         if not attempts:
             return
@@ -177,30 +196,45 @@ class DataChannel:
         completion = cycle + duration
         self._busy_until = completion
         self.total_messages += 1
-        self.stats.counter("wireless/messages").add()
-        self.stats.utilization("wireless/data_channel").add_busy(duration)
-        self.stats.histogram("wireless/transfer_latency").record(completion - attempt.enqueued_at)
-        self.tracer.emit(
-            cycle,
-            f"node{attempt.message.sender}",
-            "wireless.send",
-            f"addr={attempt.message.bm_addr} bulk={attempt.message.bulk} tone={attempt.message.tone_bit}",
-        )
+        self._messages_counter.add()
+        self._channel_util.add_busy(duration)
+        self._latency_hist.record(completion - attempt.enqueued_at)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                cycle,
+                f"node{attempt.message.sender}",
+                "wireless.send",
+                f"addr={attempt.message.bm_addr} bulk={attempt.message.bulk} tone={attempt.message.tone_bit}",
+            )
         self.sim.schedule_at(completion, self._complete, attempt, completion)
 
     def _complete(self, attempt: _Attempt, completion: int) -> None:
+        """Deliver a finished transfer to its sender and to every antenna.
+
+        All antennas are always listening, so this fans out to every
+        registered listener — O(nodes) work per delivered message (each node's
+        transceiver observes the transfer, plus the fabric's value-plane
+        listener).  That cost is inherent to modelling a broadcast medium;
+        the short-circuit below only spares listener-less channels (unit
+        tests, standalone channel studies).
+        """
         attempt.on_complete(attempt.message, completion)
-        for listener in self._listeners:
-            listener(attempt.message, completion)
+        listeners = self._listeners
+        if not listeners:
+            return
+        message = attempt.message
+        for listener in listeners:
+            listener(message, completion)
 
     def _collide(self, cycle: int, attempts: Sequence[_Attempt]) -> None:
         penalty = self.config.collision_penalty_cycles
         free_at = cycle + penalty
         self._busy_until = max(self._busy_until, free_at)
         self.total_collisions += 1
-        self.stats.counter("wireless/collisions").add()
-        self.stats.utilization("wireless/data_channel").add_busy(penalty)
-        self.tracer.emit(cycle, "channel", "wireless.collision", f"senders={len(attempts)}")
+        self._collisions_counter.add()
+        self._channel_util.add_busy(penalty)
+        if self.tracer.enabled:
+            self.tracer.emit(cycle, "channel", "wireless.collision", f"senders={len(attempts)}")
         for attempt in attempts:
             backoff = attempt.on_collision(attempt.message)
             if backoff < 0:

@@ -54,6 +54,8 @@ class ToneChannel:
         self._active_order: List[int] = []
         self._completion_listeners: List[Callable[[int, int], None]] = []
         self.completed_barriers = 0
+        self._activations_counter = self.stats.counter("tone/activations")
+        self._completions_counter = self.stats.counter("tone/completions")
 
     # ------------------------------------------------------------ listeners
     def add_completion_listener(self, callback: Callable[[int, int], None]) -> None:
@@ -89,8 +91,11 @@ class ToneChannel:
         barrier = _ActiveBarrier(bm_addr=bm_addr, activated_at=self.sim.now, emitting=set(emitters))
         self._active[bm_addr] = barrier
         self._active_order.append(bm_addr)
-        self.stats.counter("tone/activations").add()
-        self.tracer.emit(self.sim.now, "tone", "tone.activate", f"addr={bm_addr} emitters={len(emitters)}")
+        self._activations_counter.add()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, "tone", "tone.activate", f"addr={bm_addr} emitters={len(emitters)}"
+            )
         if not barrier.emitting:
             self._schedule_completion(barrier)
 
@@ -100,7 +105,8 @@ class ToneChannel:
         if barrier is None:
             raise ToneBarrierError(f"no active tone barrier at BM address {bm_addr}")
         barrier.emitting.discard(node)
-        self.tracer.emit(self.sim.now, f"node{node}", "tone.stop", f"addr={bm_addr}")
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, f"node{node}", "tone.stop", f"addr={bm_addr}")
         if not barrier.emitting:
             self._schedule_completion(barrier)
 
@@ -131,8 +137,9 @@ class ToneChannel:
         del self._active[bm_addr]
         self._active_order.remove(bm_addr)
         self.completed_barriers += 1
-        self.stats.counter("tone/completions").add()
+        self._completions_counter.add()
         detection_cycle = self.sim.now
-        self.tracer.emit(detection_cycle, "tone", "tone.complete", f"addr={bm_addr}")
+        if self.tracer.enabled:
+            self.tracer.emit(detection_cycle, "tone", "tone.complete", f"addr={bm_addr}")
         for listener in self._completion_listeners:
             listener(bm_addr, detection_cycle)

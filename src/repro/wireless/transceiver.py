@@ -11,7 +11,6 @@ keeps a small FIFO of pending transmissions.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Callable, Deque, Optional, Tuple
 
 from repro.config import DataChannelConfig
@@ -20,12 +19,18 @@ from repro.wireless.backoff import BackoffPolicy
 from repro.wireless.channel import DataChannel, TransmissionHandle, WirelessMessage
 
 
-@dataclass
 class _PendingSend:
-    message: WirelessMessage
-    on_complete: Callable[[WirelessMessage, int], None]
-    handle: Optional[TransmissionHandle] = None
-    done: bool = False
+    __slots__ = ("message", "on_complete", "handle", "done")
+
+    def __init__(
+        self,
+        message: WirelessMessage,
+        on_complete: Callable[[WirelessMessage, int], None],
+    ) -> None:
+        self.message = message
+        self.on_complete = on_complete
+        self.handle: Optional[TransmissionHandle] = None
+        self.done = False
 
 
 class SendTicket:
@@ -64,6 +69,9 @@ class Transceiver:
         self._in_flight: Optional[_PendingSend] = None
         self.sent_messages = 0
         self.collisions_seen = 0
+        # Per-node flyweight stat handles, bound once per transceiver.
+        self._sent_counter = self.stats.counter(f"transceiver/{node_id}/sent")
+        self._collision_counter = self.stats.counter(f"transceiver/{node_id}/collisions")
         # Every antenna hears every transfer; observed successes relax the
         # contention window (Section 5.3's decrement rule on a broadcast medium).
         self.channel.add_listener(self._on_observed_message)
@@ -156,13 +164,13 @@ class Transceiver:
         self._in_flight = None
         self.sent_messages += 1
         self.backoff.on_success()
-        self.stats.counter(f"transceiver/{self.node_id}/sent").add()
+        self._sent_counter.add()
         pending.on_complete(message, cycle)
         self._pump()
 
     def _on_collision(self, message: WirelessMessage) -> int:
         self.collisions_seen += 1
-        self.stats.counter(f"transceiver/{self.node_id}/collisions").add()
+        self._collision_counter.add()
         return self.backoff.on_collision()
 
     def _on_observed_message(self, message: WirelessMessage, cycle: int) -> None:

@@ -1,0 +1,80 @@
+"""Golden-run definitions shared by the bit-identity test and its regenerator.
+
+The hot-path optimizations of the simulation core (tuple-keyed event heap,
+dispatch tables, flyweight stats handles) must not change *any* simulated
+outcome.  This module pins one small sweep per experiment family and records,
+for every grid point: ``total_cycles``, the engine's ``events_processed``
+count, and the full ``StatsRegistry.snapshot()``.
+
+``tests/golden_runs.json`` was captured on the pre-optimization tree
+(commit f48eccd) and is compared exactly by ``tests/test_golden.py``.
+Regenerate only when simulation *semantics* intentionally change::
+
+    PYTHONPATH=src python tests/goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.machine.manycore import Manycore
+from repro.runner.executor import build_config_for
+from repro.runner.registry import REGISTRY
+from repro.runner.spec import RunSpec
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_runs.json")
+
+
+def golden_specs() -> List[RunSpec]:
+    """One small, fast sweep per experiment family (fig7/8/9/10)."""
+    from repro.experiments.fig7_tightloop import fig7_sweep
+    from repro.experiments.fig8_livermore import fig8_sweep
+    from repro.experiments.fig9_cas import fig9_sweep
+    from repro.experiments.fig10_applications import fig10_sweep
+    from repro.workloads.livermore import LivermoreLoop
+    from repro.workloads.synthetic_apps import application_names
+
+    specs: List[RunSpec] = []
+    specs.extend(fig7_sweep(core_counts=[16, 32], iterations=3))
+    specs.extend(
+        fig8_sweep(
+            loops=[LivermoreLoop.INNER_PRODUCT],
+            core_counts=[16],
+            vector_lengths={LivermoreLoop.INNER_PRODUCT: [64]},
+            repetitions=1,
+        )
+    )
+    specs.extend(fig9_sweep(core_counts=[16], critical_sections=[16], successes_per_thread=3))
+    specs.extend(fig10_sweep(apps=application_names()[:1], num_cores=16, phase_scale=0.25))
+    return specs
+
+
+def measure(spec: RunSpec) -> Dict[str, object]:
+    """Run one spec and record every quantity the refactor must preserve."""
+    machine = Manycore(build_config_for(spec))
+    handle = REGISTRY.build(machine, spec.workload, spec.params_dict())
+    result = handle.run(max_cycles=spec.max_cycles)
+    return {
+        "label": spec.label(),
+        "total_cycles": result.total_cycles,
+        "events_processed": machine.sim.events_processed,
+        "snapshot": result.stats.snapshot(),
+    }
+
+
+def capture() -> Dict[str, Dict[str, object]]:
+    return {spec.key(): measure(spec) for spec in golden_specs()}
+
+
+def main() -> None:
+    payload = capture()
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"wrote {GOLDEN_PATH} ({len(payload)} grid points)")
+
+
+if __name__ == "__main__":
+    main()

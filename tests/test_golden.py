@@ -1,0 +1,40 @@
+"""Bit-identity regression tests for the hot-path optimizations.
+
+``tests/golden_runs.json`` pins ``total_cycles``, ``events_processed``, and
+the full stats snapshot for one small sweep per experiment family, captured
+on the pre-optimization tree (commit f48eccd).  Every grid point must still
+reproduce those numbers exactly: the slotted event queue, dispatch tables,
+flyweight stat handles, and mesh memoization are all required to be
+behaviour-preserving.
+
+If a simulation *semantics* change is intended, regenerate the goldens with
+``PYTHONPATH=src python tests/goldens.py`` and say so in the commit message.
+"""
+
+import json
+
+import pytest
+
+from goldens import GOLDEN_PATH, golden_specs, measure
+
+
+def _golden():
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+GOLDEN = _golden()
+SPECS = golden_specs()
+
+
+def test_golden_covers_every_spec():
+    assert len(GOLDEN) == len({spec.key() for spec in SPECS})
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda spec: spec.label())
+def test_run_is_bit_identical_to_pre_optimization_golden(spec):
+    want = GOLDEN[spec.key()]
+    got = measure(spec)
+    assert got["total_cycles"] == want["total_cycles"], "total_cycles drifted"
+    assert got["events_processed"] == want["events_processed"], "event count drifted"
+    assert got["snapshot"] == want["snapshot"], "stats snapshot drifted"

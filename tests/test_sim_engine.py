@@ -106,6 +106,87 @@ class TestSimulator:
         with pytest.raises(SimulationError):
             sim.drain(max_events=100)
 
+    def test_pending_events_excludes_cancelled(self, sim):
+        events = [sim.schedule(5, lambda: None) for _ in range(10)]
+        assert sim.pending_events == 10
+        for event in events[:4]:
+            event.cancel()
+        assert sim.pending_events == 6
+
+    def test_double_cancel_counted_once(self, sim):
+        event = sim.schedule(5, lambda: None)
+        keeper = sim.schedule(6, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.events_processed == 1
+        assert keeper.cancelled is False
+
+    def test_cancel_after_fire_does_not_corrupt_queue(self, sim):
+        fired = []
+        event = sim.schedule(1, fired.append, "a")
+        sim.schedule(2, fired.append, "b")
+        sim.run(max_events=1)
+        event.cancel()  # already fired; must not affect accounting
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_cancelled_events_are_compacted(self, sim):
+        threshold = sim.COMPACT_THRESHOLD
+        events = [sim.schedule(10, lambda: None) for _ in range(2 * threshold)]
+        for event in events[: threshold + 1]:
+            event.cancel()
+        # Compaction triggered: cancelled entries physically left the heap.
+        assert len(sim._queue) < 2 * threshold
+        assert sim.pending_events == threshold - 1
+        assert sim._cancelled == 0
+
+    def test_compaction_preserves_fire_order(self, sim):
+        threshold = sim.COMPACT_THRESHOLD
+        order = []
+        keepers = []
+        for index in range(2 * threshold):
+            event = sim.schedule(index % 7, order.append, index)
+            if index % 2:
+                keepers.append(index)
+            else:
+                event.cancel()
+        sim.run()
+        expected = sorted(keepers, key=lambda i: (i % 7, i))
+        assert order == expected
+
+    def test_stop_ends_run_mid_queue(self, sim):
+        fired = []
+        sim.schedule(1, fired.append, "a")
+        sim.schedule(2, lambda: sim.stop())
+        sim.schedule(3, fired.append, "late")
+        sim.run()
+        assert fired == ["a"]
+        assert sim.pending_events == 1
+        sim.run()  # stop does not persist across runs
+        assert fired == ["a", "late"]
+
+    def test_drain_ignores_stop_requests(self, sim):
+        fired = []
+        sim.schedule(1, fired.append, "a")
+        sim.schedule(2, lambda: sim.stop())
+        sim.schedule(3, fired.append, "b")
+        assert sim.drain() == 3
+        assert fired == ["a", "b"]
+        assert sim.pending_events == 0
+
+    def test_stop_at_fires_the_boundary_event(self, sim):
+        fired = []
+        sim.schedule(5, fired.append, 5)
+        sim.schedule(10, fired.append, 10)
+        sim.schedule(15, fired.append, 15)
+        sim.run(stop_at=10)
+        # Unlike until=, stop_at lets the event that reaches the bound fire.
+        assert fired == [5, 10]
+        assert sim.now == 10
+
 
 class TestSimProcess:
     def test_timeout_advances_time(self, sim):
@@ -238,6 +319,45 @@ class TestStats:
         histogram = Histogram("h")
         assert histogram.mean == 0.0
         assert histogram.percentile(0.9) == 0.0
+
+    def test_percentile_cache_invalidated_by_record(self):
+        histogram = Histogram("h")
+        for value in (5, 1, 3):
+            histogram.record(value)
+        assert histogram.percentile(0.0) == 1
+        assert histogram.percentile(1.0) == 5  # served from the cached sort
+        histogram.record(0)
+        assert histogram.percentile(0.0) == 0  # record() must invalidate
+        histogram.record(9)
+        assert histogram.percentile(1.0) == 9
+
+    def test_repeated_percentiles_sort_once(self, monkeypatch):
+        histogram = Histogram("h")
+        for value in range(100):
+            histogram.record(value)
+        calls = []
+        import repro.sim.stats as stats_module
+        real_sorted = sorted
+        monkeypatch.setattr(
+            stats_module, "sorted", lambda it: calls.append(1) or real_sorted(it),
+            raising=False,
+        )
+        for fraction in (0.1, 0.5, 0.9, 0.99):
+            histogram.percentile(fraction)
+        assert len(calls) == 1
+
+    def test_percentile_survives_direct_sample_extension(self):
+        # merge() extends .samples in place; the cached view must not go stale.
+        a = Histogram("a")
+        b = Histogram("b")
+        for value in (1, 2, 3):
+            a.record(value)
+        assert a.percentile(1.0) == 3
+        b.record(10)
+        registry_a = StatsRegistry(histograms={"h": a})
+        registry_b = StatsRegistry(histograms={"h": b})
+        registry_a.merge(registry_b)
+        assert registry_a.histogram("h").percentile(1.0) == 10
 
     def test_utilization_tracker(self):
         tracker = UtilizationTracker("u")
