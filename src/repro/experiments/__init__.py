@@ -13,6 +13,11 @@ directory wraps these functions with pytest-benchmark.
 """
 
 from repro.experiments.fig7_tightloop import fig7_sweep, format_fig7, run_fig7
+from repro.experiments.scenarios import (
+    format_scenarios,
+    run_scenarios,
+    scenario_sweep,
+)
 from repro.experiments.fig8_livermore import fig8_sweep, format_fig8, run_fig8
 from repro.experiments.fig9_cas import fig9_sweep, format_fig9, run_fig9
 from repro.experiments.fig10_applications import fig10_sweep, format_fig10, run_fig10
@@ -28,4 +33,5 @@ __all__ = [
     "run_fig11", "format_fig11", "fig11_sweep",
     "run_table4", "format_table4",
     "run_table5", "format_table5", "table5_sweep",
+    "run_scenarios", "format_scenarios", "scenario_sweep",
 ]

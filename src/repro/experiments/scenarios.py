@@ -1,0 +1,206 @@
+"""Contention-scenario sweeps: the non-paper grid behind ``repro run scenarios``.
+
+Unlike the fig7-fig11 modules, this experiment does not reproduce a figure:
+it sweeps the :mod:`~repro.workloads.contention_suite` scenarios over
+cores x Table 2 configuration x **contention level** x **MAC backoff policy**
+— the axes that matter for WNoC MAC behaviour (Abadal et al.'s MAC context
+analysis; Mansoor et al.'s traffic-aware MAC) but that the paper's fixed
+grid never varies.
+
+Contention levels are named parameter presets per scenario
+(:data:`CONTENTION_LEVELS`), so "low" and "high" mean the same thing across
+scenarios: sparse synchronization with generous think time versus dense
+bursts with skewed or serialized traffic.  The backoff axis rides on the
+spec ``variant`` mechanism (``backoff=<kind>``,
+:func:`~repro.runner.executor.backoff_variant`) and is only applied to
+configurations with wireless hardware — a Baseline machine has no MAC to
+ablate, so it appears once per grid row regardless of the backoff list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.tables import format_table
+from repro.errors import ConfigurationError
+from repro.runner.executor import backoff_variant
+from repro.runner.runner import Runner
+from repro.runner.spec import DEFAULT_SEED, RunSpec, SweepSpec
+from repro.workloads.contention_suite import scenario_names
+
+#: Table 2 configurations that have a wireless MAC to sweep backoff over.
+WIRELESS_CONFIGS = ("WiSyncNoT", "WiSync")
+
+#: The default backoff kind baked into every configuration (see
+#: :class:`repro.config.BackoffConfig`); selected with ``variant=None`` so
+#: that default-policy specs stay cache-compatible with the other sweeps.
+DEFAULT_BACKOFF = "broadcast_aware"
+
+#: Named parameter presets: contention level -> scenario -> builder params.
+CONTENTION_LEVELS: Dict[str, Dict[str, Dict[str, object]]] = {
+    "low": {
+        "pc_ring": {"items": 4, "think_cycles": 400},
+        "rwlock": {"operations": 6, "write_fraction": 0.1, "think_cycles": 300},
+        "work_steal": {"tasks_per_thread": 4, "task_cycles": 400, "seed_stride": 1},
+        "barrier_storm": {
+            "phases": 3, "storms_per_phase": 1, "compute_cycles": 600, "skew": 0.2,
+        },
+        "mixed_phases": {"phases": 3, "compute_cycles": 500},
+    },
+    "medium": {
+        "pc_ring": {"items": 6, "think_cycles": 120},
+        "rwlock": {"operations": 8, "write_fraction": 0.2, "think_cycles": 100},
+        "work_steal": {"tasks_per_thread": 5, "task_cycles": 150, "seed_stride": 2},
+        "barrier_storm": {
+            "phases": 4, "storms_per_phase": 2, "compute_cycles": 200, "skew": 0.5,
+        },
+        "mixed_phases": {"phases": 4, "compute_cycles": 150},
+    },
+    "high": {
+        "pc_ring": {"items": 8, "think_cycles": 30},
+        "rwlock": {"operations": 10, "write_fraction": 0.5, "think_cycles": 30},
+        "work_steal": {"tasks_per_thread": 6, "task_cycles": 60, "seed_stride": 4},
+        "barrier_storm": {
+            "phases": 4, "storms_per_phase": 3, "compute_cycles": 100, "skew": 1.0,
+        },
+        "mixed_phases": {"phases": 6, "compute_cycles": 80},
+    },
+}
+
+DEFAULT_CORE_COUNTS = [16]
+DEFAULT_CONFIGS = ["Baseline", "WiSync"]
+DEFAULT_CONTENTION = ["low", "high"]
+DEFAULT_BACKOFFS = [DEFAULT_BACKOFF]
+
+#: Row key of the structured result table:
+#: (scenario, contention level, core count, backoff kind).
+ScenarioKey = Tuple[str, str, int, str]
+
+
+def _axis(name: str, values: Optional[List], default: List) -> List:
+    """Apply the default for an omitted sweep axis; reject an empty one.
+
+    An explicitly empty axis (e.g. ``--backoffs ,`` on the CLI) would either
+    crash on ``backoffs[0]`` or silently build an empty sweep — both worse
+    than saying what is wrong.
+    """
+    if values is None:
+        return default
+    if not values:
+        raise ConfigurationError(f"scenario sweep axis {name!r} must not be empty")
+    return values
+
+
+def contention_params(scenario: str, level: str) -> Dict[str, object]:
+    """The parameter preset for ``scenario`` at contention ``level``."""
+    if level not in CONTENTION_LEVELS:
+        raise ConfigurationError(
+            f"unknown contention level {level!r}; choices: {sorted(CONTENTION_LEVELS)}"
+        )
+    preset = CONTENTION_LEVELS[level]
+    if scenario not in preset:
+        raise ConfigurationError(
+            f"no contention preset for scenario {scenario!r}; "
+            f"known scenarios: {sorted(preset)}"
+        )
+    return dict(preset[scenario])
+
+
+def _spec_for(
+    scenario: str, level: str, cores: int, config: str, backoff: str, seed: int
+) -> RunSpec:
+    variant = None if backoff == DEFAULT_BACKOFF else backoff_variant(backoff)
+    return RunSpec(
+        workload=scenario,
+        params=tuple(contention_params(scenario, level).items()),
+        config=config,
+        num_cores=cores,
+        seed=seed,
+        variant=variant,
+    )
+
+
+def scenario_sweep(
+    scenarios: Optional[List[str]] = None,
+    core_counts: Optional[List[int]] = None,
+    configs: Optional[List[str]] = None,
+    contention: Optional[List[str]] = None,
+    backoffs: Optional[List[str]] = None,
+    seed: int = DEFAULT_SEED,
+) -> SweepSpec:
+    """The declarative contention grid.
+
+    Wireless configurations get one spec per backoff kind; configurations
+    without wireless hardware appear once per (scenario, level, cores) row —
+    their MAC-free results are backoff-independent by construction.
+    """
+    scenarios = _axis("scenarios", scenarios, scenario_names())
+    core_counts = _axis("core_counts", core_counts, DEFAULT_CORE_COUNTS)
+    configs = _axis("configs", configs, DEFAULT_CONFIGS)
+    contention = _axis("contention", contention, DEFAULT_CONTENTION)
+    backoffs = _axis("backoffs", backoffs, DEFAULT_BACKOFFS)
+    specs: List[RunSpec] = []
+    for scenario in scenarios:
+        for level in contention:
+            for cores in core_counts:
+                for config in configs:
+                    kinds = backoffs if config in WIRELESS_CONFIGS else [backoffs[0]]
+                    for kind in kinds:
+                        effective = kind if config in WIRELESS_CONFIGS else DEFAULT_BACKOFF
+                        specs.append(
+                            _spec_for(scenario, level, cores, config, effective, seed)
+                        )
+    return SweepSpec(name="scenarios", specs=tuple(specs))
+
+
+def run_scenarios(
+    scenarios: Optional[List[str]] = None,
+    core_counts: Optional[List[int]] = None,
+    configs: Optional[List[str]] = None,
+    contention: Optional[List[str]] = None,
+    backoffs: Optional[List[str]] = None,
+    runner: Optional[Runner] = None,
+) -> Dict[ScenarioKey, Dict[str, float]]:
+    """Total cycles keyed by (scenario, level, cores, backoff) then config.
+
+    Configurations without a wireless MAC are repeated across the backoff
+    rows of their grid point (one simulation serves every row), keeping each
+    row a complete config-by-config comparison.
+    """
+    scenarios = _axis("scenarios", scenarios, scenario_names())
+    core_counts = _axis("core_counts", core_counts, DEFAULT_CORE_COUNTS)
+    configs = _axis("configs", configs, DEFAULT_CONFIGS)
+    contention = _axis("contention", contention, DEFAULT_CONTENTION)
+    backoffs = _axis("backoffs", backoffs, DEFAULT_BACKOFFS)
+    sweep = scenario_sweep(scenarios, core_counts, configs, contention, backoffs)
+    from repro.runner.runner import default_runner
+
+    results = default_runner(runner).run(sweep).results
+    table: Dict[ScenarioKey, Dict[str, float]] = {}
+    for scenario in scenarios:
+        for level in contention:
+            for cores in core_counts:
+                for kind in backoffs:
+                    row: Dict[str, float] = {}
+                    for config in configs:
+                        effective = kind if config in WIRELESS_CONFIGS else DEFAULT_BACKOFF
+                        spec = _spec_for(scenario, level, cores, config, effective, DEFAULT_SEED)
+                        row[config] = float(results[spec].total_cycles)
+                    table[(scenario, level, cores, kind)] = row
+    return table
+
+
+def format_scenarios(table: Dict[ScenarioKey, Dict[str, float]]) -> str:
+    configs: List[str] = []
+    for row in table.values():
+        for label in row:
+            if label not in configs:
+                configs.append(label)
+    headers = ["scenario", "contention", "cores", "backoff"] + configs
+    rows = [
+        list(key) + [row.get(label, float("nan")) for label in configs]
+        for key, row in sorted(table.items())
+    ]
+    return format_table(
+        headers, rows, title="Contention scenarios: total cycles"
+    )

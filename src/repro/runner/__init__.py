@@ -8,14 +8,25 @@ driven either from Python (:class:`Runner`) or the ``python -m repro`` CLI.
 """
 
 from repro.runner.cache import ResultCache
-from repro.runner.executor import ParallelExecutor, SerialExecutor, execute_spec
+from repro.runner.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    backoff_variant,
+    execute_spec,
+)
 from repro.runner.registry import (
     REGISTRY,
     WorkloadRegistry,
     register_workload,
     workload_names,
 )
-from repro.runner.runner import Runner, SweepResult, default_runner
+from repro.runner.runner import (
+    Runner,
+    SpecProgress,
+    SweepProgressHook,
+    SweepResult,
+    default_runner,
+)
 from repro.runner.spec import DEFAULT_SEED, RunSpec, SweepSpec
 
 __all__ = [
@@ -29,8 +40,11 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "execute_spec",
+    "backoff_variant",
     "ResultCache",
     "Runner",
+    "SpecProgress",
+    "SweepProgressHook",
     "SweepResult",
     "default_runner",
 ]

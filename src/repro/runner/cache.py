@@ -43,15 +43,25 @@ class ResultCache:
 
     # ------------------------------------------------------------ get / put
     def get(self, spec: RunSpec) -> Optional[SimResult]:
-        """The cached result for ``spec``, or None on a miss."""
+        """The cached result for ``spec``, or None on a miss.
+
+        Unreadable and stale-version entries are deleted on the spot: they
+        can never be served again (``put`` would overwrite them anyway), and
+        leaving them around would make ``len(cache)`` count dead files.
+        """
         entry = self.entry_path(spec)
         try:
             payload = json.loads(entry.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+        except OSError:
             self.misses += 1
+            return None
+        except json.JSONDecodeError:
+            self.misses += 1
+            self._evict(entry)
             return None
         if payload.get("version") != CACHE_FORMAT_VERSION:
             self.misses += 1
+            self._evict(entry)
             return None
         self.hits += 1
         return SimResult.from_dict(payload["result"])
@@ -83,6 +93,34 @@ class ResultCache:
             entry.unlink()
             removed += 1
         return removed
+
+    def prune(self) -> int:
+        """Delete every dead entry (corrupt or stale-version); returns the count.
+
+        ``get`` already evicts dead entries it happens to touch; ``prune``
+        sweeps the whole directory, e.g. after bumping
+        :data:`CACHE_FORMAT_VERSION`.
+        """
+        removed = 0
+        for entry in self.path.glob("*.json"):
+            try:
+                payload = json.loads(entry.read_text(encoding="utf-8"))
+            except OSError:
+                continue  # concurrently removed; nothing to prune
+            except json.JSONDecodeError:
+                removed += self._evict(entry)
+                continue
+            if payload.get("version") != CACHE_FORMAT_VERSION:
+                removed += self._evict(entry)
+        return removed
+
+    @staticmethod
+    def _evict(entry: Path) -> int:
+        try:
+            entry.unlink()
+            return 1
+        except OSError:
+            return 0  # lost a race with another evictor; already gone
 
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "entries": len(self)}

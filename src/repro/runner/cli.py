@@ -6,11 +6,15 @@
     python -m repro run fig7 --cores 16,32 --configs WiSync,Baseline --parallel 8
     python -m repro run fig9 --cores 64 --crit 16,256 --json fig9.json
     python -m repro run fig10 --apps streamcluster,raytrace --cache .wisync-cache
+    python -m repro run scenarios --contention low,high --backoffs broadcast_aware,exponential --progress
+    python -m repro scenarios
     python -m repro profile fig7 --quick --baseline BENCH_fig7.json
 
 ``run`` reports how many grid points were freshly simulated versus served
 from the cache, so a repeated invocation with ``--cache`` visibly performs
-zero new simulations.  ``profile`` times a pinned sweep, writes a
+zero new simulations; ``--progress`` streams one line per grid point to
+stderr as it completes.  ``scenarios`` prints the contention-scenario
+catalog.  ``profile`` times a pinned sweep, writes a
 ``BENCH_<experiment>.json`` throughput record, and can gate on a committed
 baseline (used by the CI perf-smoke job).
 """
@@ -21,13 +25,13 @@ import argparse
 import json
 import sys
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.runner.cache import ResultCache
 from repro.runner.executor import ParallelExecutor, SerialExecutor
 from repro.runner.registry import workload_names
-from repro.runner.runner import Runner
+from repro.runner.runner import Runner, SpecProgress
 
 
 class _CountingExecutor:
@@ -36,6 +40,10 @@ class _CountingExecutor:
     def __init__(self, inner: Any) -> None:
         self.inner = inner
         self.simulated = 0
+
+    def run_iter(self, specs: Sequence[Any]) -> Iterator[Tuple[int, Any]]:
+        self.simulated += len(specs)
+        return self.inner.run_iter(specs)
 
     def run(self, specs: Sequence[Any], progress: Optional[Any] = None) -> List[Any]:
         self.simulated += len(specs)
@@ -136,6 +144,17 @@ def _run_table5(args: argparse.Namespace, runner: Runner):
     return table, format_table5(table)
 
 
+def _run_scenarios(args: argparse.Namespace, runner: Runner):
+    from repro.experiments import format_scenarios, run_scenarios
+
+    table = run_scenarios(
+        scenarios=args.scenarios, core_counts=args.cores,
+        configs=args.configs, contention=args.contention,
+        backoffs=args.backoffs, runner=runner,
+    )
+    return table, format_scenarios(table)
+
+
 def _warn_fixed_configs(args: argparse.Namespace, reason: str) -> None:
     if args.configs is not None:
         print(f"note: --configs is ignored; {reason}", file=sys.stderr)
@@ -160,6 +179,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace, Runner], Any]] = {
     "fig11": _run_fig11,
     "table4": _run_table4,
     "table5": _run_table5,
+    "scenarios": _run_scenarios,
 }
 
 
@@ -201,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the experiment's structured results to PATH as JSON ('-' = stdout)",
     )
     run_parser.add_argument("--quiet", action="store_true", help="suppress the formatted table")
+    run_parser.add_argument(
+        "--progress", action="store_true",
+        help="stream one line per completed grid point to stderr",
+    )
     # Experiment-specific knobs (ignored by experiments that do not use them).
     run_parser.add_argument("--iterations", type=int, default=5, help="fig7: loop iterations")
     run_parser.add_argument("--repetitions", type=int, default=2, help="fig8: loop repetitions")
@@ -221,6 +245,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="fig11: Table 6 sensitivity variants",
     )
     run_parser.add_argument("--technology-nm", type=int, default=22, help="table4: tech node")
+    run_parser.add_argument(
+        "--scenarios", type=_comma_strs, default=None, metavar="A,B,...",
+        help="scenarios: contention-scenario subset (default: all; see 'repro scenarios')",
+    )
+    run_parser.add_argument(
+        "--contention", type=_comma_strs, default=None, metavar="L,L,...",
+        help="scenarios: contention levels to sweep (low, medium, high)",
+    )
+    run_parser.add_argument(
+        "--backoffs", type=_comma_strs, default=None, metavar="K,K,...",
+        help="scenarios: MAC backoff kinds to sweep on wireless configurations "
+             "(broadcast_aware, exponential, fixed)",
+    )
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="list the contention-scenario catalog (workloads, knobs, examples)"
+    )
+    scenarios_parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
 
     profile_parser = subparsers.add_parser(
         "profile",
@@ -282,6 +326,30 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.workloads.contention_suite import SCENARIOS
+
+    if args.json:
+        payload = {
+            name: {
+                "summary": info.summary,
+                "knobs": info.knobs_dict(),
+                "example": info.example,
+            }
+            for name, info in sorted(SCENARIOS.items())
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print("contention scenarios (run with: python -m repro run scenarios --scenarios NAME):")
+    for name, info in sorted(SCENARIOS.items()):
+        print(f"\n  {name}")
+        print(f"    {info.summary}")
+        knobs = ", ".join(f"{knob}={default}" for knob, default in info.knobs)
+        print(f"    knobs: {knobs}")
+        print(f"    e.g.:  {info.example}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.parallel < 0:
         print(f"error: --parallel must be >= 0, got {args.parallel}", file=sys.stderr)
@@ -291,7 +359,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     executor = ParallelExecutor(args.parallel) if args.parallel > 0 else SerialExecutor()
     counting = _CountingExecutor(executor)
     cache = ResultCache(args.cache) if args.cache else None
-    runner = Runner(executor=counting, cache=cache)
+    progress = None
+    if args.progress:
+        def progress(event: SpecProgress) -> None:
+            print(event.describe(), file=sys.stderr, flush=True)
+    runner = Runner(executor=counting, cache=cache, progress=progress)
     started = time.perf_counter()
     table, rendered = EXPERIMENTS[args.experiment](args, runner)
     elapsed = time.perf_counter() - started
@@ -344,6 +416,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "scenarios":
+            return _cmd_scenarios(args)
         if args.command == "profile":
             return _cmd_profile(args)
         return _cmd_run(args)

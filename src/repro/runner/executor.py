@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.machine.results import SimResult
 from repro.runner.spec import RunSpec
@@ -22,13 +22,35 @@ from repro.runner.spec import RunSpec
 #: Optional progress hook: called with (index, total, spec, result).
 ProgressHook = Callable[[int, int, RunSpec, SimResult], None]
 
+#: Prefix of the spec variant that overrides the MAC backoff policy instead
+#: of naming a Table 6 sensitivity variant, e.g. ``backoff=exponential``.
+BACKOFF_VARIANT_PREFIX = "backoff="
+
+
+def backoff_variant(kind: str) -> str:
+    """The spec ``variant`` string selecting backoff policy ``kind``."""
+    return f"{BACKOFF_VARIANT_PREFIX}{kind}"
+
 
 def build_config_for(spec: RunSpec):
-    """Build the (possibly sensitivity-variant) MachineConfig for ``spec``."""
+    """Build the (possibly sensitivity-variant) MachineConfig for ``spec``.
+
+    Besides the Table 6 names, ``variant`` accepts ``backoff=<kind>`` to swap
+    the Data-channel collision-resolution policy (Section 5.3 ablations and
+    the contention-scenario suite's backoff axis).
+    """
     from repro.machine.configs import config_by_name, sensitivity_variants
 
     config = config_by_name(spec.config, num_cores=spec.num_cores, seed=spec.seed)
     if spec.variant is not None:
+        if spec.variant.startswith(BACKOFF_VARIANT_PREFIX):
+            from dataclasses import replace
+
+            kind = spec.variant[len(BACKOFF_VARIANT_PREFIX):]
+            return config.replace(
+                name=f"{config.name}/{spec.variant}",
+                backoff=replace(config.backoff, kind=kind),
+            ).validate()
         variants = sensitivity_variants(config)
         if spec.variant not in variants:
             from repro.errors import ConfigurationError
@@ -60,26 +82,46 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     return execute_spec(spec).to_dict()
 
 
-class SerialExecutor:
-    """Run specs one after the other in the calling process."""
+class _ExecutorBase:
+    """Shared batch driver: ``run`` collects ``run_iter`` back into spec order.
+
+    Subclasses implement :meth:`run_iter`, a generator yielding
+    ``(position, result)`` pairs *in completion order* as each spec finishes —
+    the streaming primitive the Runner's per-spec progress is built on.
+    """
+
+    def run_iter(
+        self, specs: Sequence[RunSpec]
+    ) -> Iterator[Tuple[int, SimResult]]:
+        raise NotImplementedError
 
     def run(
         self, specs: Sequence[RunSpec], progress: Optional[ProgressHook] = None
     ) -> List[SimResult]:
-        results: List[SimResult] = []
-        for index, spec in enumerate(specs):
-            result = execute_spec(spec)
-            results.append(result)
+        results: List[Optional[SimResult]] = [None] * len(specs)
+        for index, result in self.run_iter(specs):
+            results[index] = result
             if progress is not None:
-                progress(index, len(specs), spec, result)
-        return results
+                progress(index, len(specs), specs[index], result)
+        return [result for result in results if result is not None]
 
 
-class ParallelExecutor:
+class SerialExecutor(_ExecutorBase):
+    """Run specs one after the other in the calling process."""
+
+    def run_iter(
+        self, specs: Sequence[RunSpec]
+    ) -> Iterator[Tuple[int, SimResult]]:
+        for index, spec in enumerate(specs):
+            yield index, execute_spec(spec)
+
+
+class ParallelExecutor(_ExecutorBase):
     """Fan specs out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
 
-    Results come back in spec order regardless of completion order, so a
-    parallel sweep is a drop-in replacement for a serial one.
+    ``run`` returns results in spec order regardless of completion order, so
+    a parallel sweep is a drop-in replacement for a serial one; ``run_iter``
+    streams ``(position, result)`` pairs as workers finish.
     """
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
@@ -87,13 +129,13 @@ class ParallelExecutor:
             raise ValueError("max_workers must be at least 1")
         self.max_workers = max_workers or os.cpu_count() or 1
 
-    def run(
-        self, specs: Sequence[RunSpec], progress: Optional[ProgressHook] = None
-    ) -> List[SimResult]:
+    def run_iter(
+        self, specs: Sequence[RunSpec]
+    ) -> Iterator[Tuple[int, SimResult]]:
         if len(specs) <= 1 or self.max_workers == 1:
-            return SerialExecutor().run(specs, progress)
+            yield from SerialExecutor().run_iter(specs)
+            return
         payloads = [spec.to_dict() for spec in specs]
-        results: List[Optional[SimResult]] = [None] * len(specs)
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=min(self.max_workers, len(specs))
         ) as pool:
@@ -102,8 +144,4 @@ class ParallelExecutor:
                 for index, payload in enumerate(payloads)
             }
             for future in concurrent.futures.as_completed(futures):
-                index = futures[future]
-                results[index] = SimResult.from_dict(future.result())
-                if progress is not None:
-                    progress(index, len(specs), specs[index], results[index])
-        return [result for result in results if result is not None]
+                yield futures[future], SimResult.from_dict(future.result())

@@ -72,12 +72,31 @@ def _fig10(quick: bool) -> SweepSpec:
     return fig10_sweep(apps=application_names()[:2], num_cores=64, phase_scale=0.5)
 
 
+def _scenarios(quick: bool) -> SweepSpec:
+    from repro.experiments.scenarios import scenario_sweep
+
+    if quick:
+        return scenario_sweep(
+            scenarios=["barrier_storm", "rwlock", "work_steal"],
+            core_counts=[16],
+            configs=["WiSync"],
+            contention=["high"],
+        )
+    return scenario_sweep(
+        core_counts=[16],
+        configs=["Baseline", "WiSync"],
+        contention=["low", "high"],
+        backoffs=["broadcast_aware", "exponential"],
+    )
+
+
 #: Experiment name -> pinned sweep builder (``builder(quick) -> SweepSpec``).
 PROFILE_SWEEPS: Dict[str, Callable[[bool], SweepSpec]] = {
     "fig7": _fig7,
     "fig8": _fig8,
     "fig9": _fig9,
     "fig10": _fig10,
+    "scenarios": _scenarios,
 }
 
 

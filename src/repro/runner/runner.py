@@ -9,18 +9,49 @@
 ``Runner.run`` checks the cache first, dispatches only the missing specs to
 the executor, stores fresh results back, and returns a
 :class:`SweepResult` that preserves the sweep's spec order.
+
+Long sweeps can be observed point by point: ``Runner.run_iter`` is a
+generator yielding one :class:`SpecProgress` per grid point in completion
+order (cache hits first, then simulations as they finish — out of spec order
+under a parallel executor), and both ``Runner.run`` and the constructor
+accept a ``progress`` callback receiving the same events.  This is what
+``python -m repro run --progress`` streams to stderr.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import WorkloadError
 from repro.machine.results import SimResult
 from repro.runner.cache import ResultCache
-from repro.runner.executor import ProgressHook, SerialExecutor
+from repro.runner.executor import SerialExecutor
 from repro.runner.spec import RunSpec, SweepSpec
+
+
+@dataclass(frozen=True)
+class SpecProgress:
+    """One grid point's completion, streamed while a sweep is running."""
+
+    index: int          #: completion order within this sweep run (0-based)
+    total: int          #: grid points in the sweep
+    spec: RunSpec
+    result: SimResult
+    cached: bool        #: served from the result cache, not simulated
+
+    def describe(self) -> str:
+        """One-line rendering used by the CLI's ``--progress`` stream."""
+        width = len(str(self.total))
+        source = "cached" if self.cached else "simulated"
+        return (
+            f"[{self.index + 1:>{width}}/{self.total}] {self.spec.label()}: "
+            f"{self.result.total_cycles} cycles ({source})"
+        )
+
+
+#: Per-spec progress callback fed by ``Runner.run``.
+SweepProgressHook = Callable[[SpecProgress], None]
 
 
 @dataclass
@@ -57,15 +88,23 @@ class SweepResult:
 
 
 class Runner:
-    """Execute sweeps through an executor, with an optional result cache."""
+    """Execute sweeps through an executor, with an optional result cache.
+
+    ``progress`` (a :data:`SweepProgressHook`) is called for every grid point
+    of every sweep this runner executes — including cache hits — so callers
+    that build sweeps indirectly (the experiment modules, the CLI) still get
+    streamed progress without threading a callback through every layer.
+    """
 
     def __init__(
         self,
         executor: Optional[Any] = None,
         cache: Optional[ResultCache] = None,
+        progress: Optional[SweepProgressHook] = None,
     ) -> None:
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
+        self.progress = progress
 
     # ------------------------------------------------------------------ run
     def run_spec(self, spec: RunSpec) -> SimResult:
@@ -73,35 +112,80 @@ class Runner:
         outcome = self.run(SweepSpec(name=spec.workload, specs=(spec,)))
         return outcome.result_for(spec)
 
-    def run(self, sweep: SweepSpec, progress: Optional[ProgressHook] = None) -> SweepResult:
-        """Run every spec of ``sweep``; cached points are not re-simulated."""
+    def run(
+        self, sweep: SweepSpec, progress: Optional[SweepProgressHook] = None
+    ) -> SweepResult:
+        """Run every spec of ``sweep``; cached points are not re-simulated.
+
+        ``progress`` overrides the runner-level hook for this sweep only.
+        """
+        hook = progress if progress is not None else self.progress
+        iterator = self.run_iter(sweep)
+        while True:
+            try:
+                event = next(iterator)
+            except StopIteration as stop:
+                return stop.value
+            if hook is not None:
+                hook(event)
+
+    def run_iter(self, sweep: SweepSpec) -> Iterator[SpecProgress]:
+        """Generator form of :meth:`run`: yields one event per grid point.
+
+        Cache hits are yielded first (in spec order), then fresh simulations
+        in completion order.  The generator's return value (``StopIteration``
+        ``.value``, or ``Runner.run``'s return) is the final
+        :class:`SweepResult`.
+        """
+        total = len(sweep)
         results: Dict[RunSpec, SimResult] = {}
         missing: List[RunSpec] = []
-        seen: set = set()
+        index = 0
         for spec in sweep:
-            if spec in seen:
-                continue  # duplicate grid points simulate once
-            seen.add(spec)
             cached = self.cache.get(spec) if self.cache is not None else None
             if cached is not None:
                 results[spec] = cached
+                yield SpecProgress(index, total, spec, cached, cached=True)
+                index += 1
             else:
                 missing.append(spec)
-        fresh = self.executor.run(missing, progress) if missing else []
-        if len(fresh) != len(missing):
-            raise WorkloadError(
-                f"executor returned {len(fresh)} results for {len(missing)} specs"
-            )
-        for spec, result in zip(missing, fresh):
+        for position, result in self._execute_iter(missing):
+            spec = missing[position]
             results[spec] = result
             if self.cache is not None:
                 self.cache.put(spec, result)
+            yield SpecProgress(index, total, spec, result, cached=False)
+            index += 1
+        if len(results) != total:
+            # run_iter-style executors that yield too few (or repeat) positions.
+            raise WorkloadError(
+                f"executor produced {len(results) - (total - len(missing))} "
+                f"results for {len(missing)} specs"
+            )
         return SweepResult(
             sweep=sweep,
             results=results,
             num_simulated=len(missing),
-            num_cached=len(seen) - len(missing),
+            num_cached=total - len(missing),
         )
+
+    def _execute_iter(
+        self, missing: List[RunSpec]
+    ) -> Iterator[Tuple[int, SimResult]]:
+        """Stream ``(position, result)`` pairs from whatever executor we hold."""
+        if not missing:
+            return
+        run_iter = getattr(self.executor, "run_iter", None)
+        if run_iter is not None:
+            yield from run_iter(missing)
+        else:
+            # Executors predating run_iter (user-supplied): one batched call.
+            fresh = self.executor.run(missing)
+            if len(fresh) != len(missing):
+                raise WorkloadError(
+                    f"executor returned {len(fresh)} results for {len(missing)} specs"
+                )
+            yield from enumerate(fresh)
 
 
 def default_runner(runner: Optional[Runner] = None) -> Runner:

@@ -121,13 +121,28 @@ class RunSpec:
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A named, ordered grid of :class:`RunSpec` points."""
+    """A named, ordered grid of *distinct* :class:`RunSpec` points.
+
+    Duplicate specs (same :meth:`RunSpec.key`) are rejected at construction:
+    they always come from overlapping axes (a core count listed twice, two
+    param sets that collapse to the same canonical form) and silently running
+    or deduplicating them would hide the configuration mistake.
+    """
 
     name: str
     specs: Tuple[RunSpec, ...] = ()
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "specs", tuple(self.specs))
+        specs = tuple(self.specs)
+        object.__setattr__(self, "specs", specs)
+        seen = set()
+        for spec in specs:
+            if spec in seen:
+                raise ConfigurationError(
+                    f"sweep {self.name!r} lists the grid point "
+                    f"[{spec.label()}] more than once; overlapping axes?"
+                )
+            seen.add(spec)
 
     def __iter__(self) -> Iterator[RunSpec]:
         return iter(self.specs)

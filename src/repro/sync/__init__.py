@@ -21,6 +21,7 @@ from repro.sync.eureka import OrBarrier
 from repro.sync.locks import CasSpinLock, Lock, McsLock, WirelessLock
 from repro.sync.producer_consumer import ProducerConsumerChannel
 from repro.sync.reduction import Reducer
+from repro.sync.rwlock import ReadersWriterLock
 
 __all__ = [
     "SyncFactory",
@@ -39,4 +40,5 @@ __all__ = [
     "OrBarrier",
     "Reducer",
     "ProducerConsumerChannel",
+    "ReadersWriterLock",
 ]

@@ -25,6 +25,7 @@ from repro.sync.eureka import OrBarrier
 from repro.sync.locks import CasSpinLock, Lock, McsLock, WirelessLock
 from repro.sync.producer_consumer import ProducerConsumerChannel
 from repro.sync.reduction import Reducer
+from repro.sync.rwlock import ReadersWriterLock
 
 
 class SyncFactory:
@@ -105,6 +106,10 @@ class SyncFactory:
 
     def create_reducer(self) -> Reducer:
         return Reducer(self.create_cell())
+
+    def create_rwlock(self) -> ReadersWriterLock:
+        """A readers-writer lock in the fastest memory this machine offers."""
+        return ReadersWriterLock(self.create_cell())
 
     def create_or_barrier(self) -> OrBarrier:
         return OrBarrier(self.create_cell())

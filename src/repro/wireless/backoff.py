@@ -81,7 +81,11 @@ class ExponentialBackoff(BackoffPolicy):
         self.exponent = max(0, self.exponent - 1)
 
     def reset(self) -> None:
+        # All state, not just the window: a reset transceiver must not carry
+        # contention statistics from its previous life into new measurements.
         self.exponent = 0
+        self.collisions = 0
+        self.successes = 0
 
     def deferral(self) -> int:
         if self.exponent == 0:
@@ -140,6 +144,8 @@ class BroadcastAwareBackoff(BackoffPolicy):
 
     def reset(self) -> None:
         self.estimate = 1.0
+        self.collisions = 0
+        self.successes = 0
 
 
 class FixedBackoff(BackoffPolicy):
@@ -160,8 +166,9 @@ class FixedBackoff(BackoffPolicy):
     def on_success(self) -> None:
         self.successes += 1
 
-    def reset(self) -> None:  # no state to reset
-        return None
+    def reset(self) -> None:
+        self.collisions = 0
+        self.successes = 0
 
 
 def make_backoff(config: BackoffConfig, rng: DeterministicRng) -> BackoffPolicy:

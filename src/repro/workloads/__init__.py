@@ -12,6 +12,17 @@ what to measure.
 
 from repro.workloads.base import WorkloadHandle
 from repro.workloads.cas_kernels import CasKernelKind, build_cas_kernel
+from repro.workloads.contention_suite import (
+    SCENARIOS,
+    ScenarioInfo,
+    build_barrier_storm,
+    build_mixed_phases,
+    build_pc_ring,
+    build_rwlock,
+    build_work_steal,
+    scenario_info,
+    scenario_names,
+)
 from repro.workloads.livermore import LivermoreLoop, build_livermore_loop
 from repro.workloads.synthetic_apps import (
     APPLICATION_PROFILES,
@@ -35,4 +46,13 @@ __all__ = [
     "application_names",
     "profile_by_name",
     "build_application",
+    "SCENARIOS",
+    "ScenarioInfo",
+    "scenario_names",
+    "scenario_info",
+    "build_pc_ring",
+    "build_rwlock",
+    "build_work_steal",
+    "build_barrier_storm",
+    "build_mixed_phases",
 ]

@@ -28,11 +28,12 @@ GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_runs.json")
 
 
 def golden_specs() -> List[RunSpec]:
-    """One small, fast sweep per experiment family (fig7/8/9/10)."""
+    """One small, fast sweep per experiment family (fig7/8/9/10 + scenarios)."""
     from repro.experiments.fig7_tightloop import fig7_sweep
     from repro.experiments.fig8_livermore import fig8_sweep
     from repro.experiments.fig9_cas import fig9_sweep
     from repro.experiments.fig10_applications import fig10_sweep
+    from repro.experiments.scenarios import scenario_sweep
     from repro.workloads.livermore import LivermoreLoop
     from repro.workloads.synthetic_apps import application_names
 
@@ -48,6 +49,17 @@ def golden_specs() -> List[RunSpec]:
     )
     specs.extend(fig9_sweep(core_counts=[16], critical_sections=[16], successes_per_thread=3))
     specs.extend(fig10_sweep(apps=application_names()[:1], num_cores=16, phase_scale=0.25))
+    # Contention-scenario suite (PR 3): one high-contention sweep across both
+    # wireless backoff policies, captured when the suite landed.
+    specs.extend(
+        scenario_sweep(
+            scenarios=["barrier_storm", "work_steal"],
+            core_counts=[16],
+            configs=["WiSync"],
+            contention=["high"],
+            backoffs=["broadcast_aware", "exponential"],
+        )
+    )
     return specs
 
 

@@ -39,7 +39,10 @@ def tightloop_spec(**overrides):
 
 class TestRegistry:
     def test_paper_workloads_registered(self):
-        assert workload_names() == ["application", "cas", "livermore", "tightloop"]
+        assert workload_names() == [
+            "application", "barrier_storm", "cas", "livermore", "mixed_phases",
+            "pc_ring", "rwlock", "tightloop", "work_steal",
+        ]
 
     def test_name_round_trips_to_builder(self):
         assert REGISTRY.get("tightloop") is build_tightloop
@@ -207,11 +210,40 @@ class TestCacheAndRunner:
         assert cached.total_cycles == result.total_cycles
         assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_is_evicted(self, tmp_path):
         cache = ResultCache(tmp_path)
         spec = tightloop_spec()
         cache.entry_path(spec).write_text("{not json")
         assert cache.get(spec) is None
+        assert not cache.entry_path(spec).exists()
+
+    def test_stale_version_entry_is_evicted_on_read(self, tmp_path):
+        # Regression: a version-mismatched entry was treated as a miss but
+        # left on disk forever, inflating len(cache) with dead files.
+        cache = ResultCache(tmp_path)
+        spec = tightloop_spec()
+        cache.put(spec, execute_spec(spec))
+        payload = json.loads(cache.entry_path(spec).read_text())
+        payload["version"] = -1
+        cache.entry_path(spec).write_text(json.dumps(payload))
+        assert cache.get(spec) is None
+        assert not cache.entry_path(spec).exists()
+        assert len(cache) == 0
+
+    def test_prune_sweeps_dead_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        live = tightloop_spec()
+        cache.put(live, execute_spec(live))
+        stale = tightloop_spec(num_cores=4)
+        cache.put(stale, execute_spec(stale))
+        payload = json.loads(cache.entry_path(stale).read_text())
+        payload["version"] = -1
+        cache.entry_path(stale).write_text(json.dumps(payload))
+        (tmp_path / "corrupt.json").write_text("{not json")
+        assert len(cache) == 3
+        assert cache.prune() == 2
+        assert len(cache) == 1
+        assert cache.get(live) is not None
 
     def test_runner_skips_cached_specs(self, tmp_path):
         sweep = SweepSpec(name="s", specs=(tightloop_spec(), tightloop_spec(num_cores=4)))
@@ -223,24 +255,94 @@ class TestCacheAndRunner:
         for spec in sweep:
             assert first.result_for(spec).total_cycles == second.result_for(spec).total_cycles
 
-    def test_runner_deduplicates_grid_points(self):
+    def test_sweep_rejects_duplicate_grid_points(self):
+        # Overlapping axes used to double-run (and then silently deduplicate)
+        # a grid point; a duplicate spec is now a configuration error.
         spec = tightloop_spec()
-
-        class CountingSerial(SerialExecutor):
-            calls = 0
-
-            def run(self, specs, progress=None):
-                CountingSerial.calls += len(specs)
-                return super().run(specs, progress)
-
-        outcome = Runner(executor=CountingSerial()).run(SweepSpec(name="d", specs=(spec, spec)))
-        assert CountingSerial.calls == 1
-        assert outcome.result_for(spec).completed
+        with pytest.raises(ConfigurationError, match="more than once"):
+            SweepSpec(name="d", specs=(spec, spec))
+        with pytest.raises(ConfigurationError, match="overlapping axes"):
+            SweepSpec.grid(
+                name="g", workload="tightloop",
+                configs=["WiSync"], core_counts=[8, 8],
+            )
 
     def test_run_spec_facade(self):
         result = Runner().run_spec(tightloop_spec())
         assert result.completed
         assert result.num_cores == 8
+
+
+class TestStreamedProgress:
+    def _sweep(self):
+        return SweepSpec(
+            name="s",
+            specs=tuple(tightloop_spec(num_cores=cores) for cores in (4, 8, 16)),
+        )
+
+    def test_run_iter_yields_every_grid_point(self):
+        iterator = Runner().run_iter(self._sweep())
+        events = []
+        while True:
+            try:
+                events.append(next(iterator))
+            except StopIteration as stop:
+                outcome = stop.value
+                break
+        assert [event.index for event in events] == [0, 1, 2]
+        assert all(event.total == 3 and not event.cached for event in events)
+        assert [event.spec.num_cores for event in events] == [4, 8, 16]
+        assert outcome.num_simulated == 3
+        for event in events:
+            assert outcome.result_for(event.spec) is event.result
+
+    def test_progress_hook_sees_cache_hits(self, tmp_path):
+        sweep = self._sweep()
+        runner = Runner(cache=ResultCache(tmp_path))
+        runner.run(sweep)
+        events = []
+        runner.run(sweep, progress=events.append)
+        assert len(events) == 3
+        assert all(event.cached for event in events)
+
+    def test_runner_level_hook_streams_through_legacy_experiments(self):
+        from repro.experiments import run_fig7
+
+        events = []
+        run_fig7(
+            core_counts=[8], iterations=2, configs=["WiSync", "Baseline"],
+            runner=Runner(progress=events.append),
+        )
+        assert [event.spec.config for event in events] == ["WiSync", "Baseline"]
+
+    def test_parallel_run_iter_streams_all_positions(self):
+        specs = [tightloop_spec(num_cores=cores) for cores in (4, 8, 16)]
+        pairs = list(ParallelExecutor(max_workers=3).run_iter(specs))
+        assert sorted(position for position, _ in pairs) == [0, 1, 2]
+        for position, result in pairs:
+            assert result.num_cores == specs[position].num_cores
+
+    def test_legacy_executor_result_count_mismatch_raises(self):
+        # A user-supplied executor without run_iter that returns the wrong
+        # number of results must fail with the diagnostic, not an IndexError.
+        class Overeager:
+            def run(self, specs, progress=None):
+                return [execute_spec(spec) for spec in specs] * 2
+
+        with pytest.raises(WorkloadError, match="returned 2 results for 1 specs"):
+            Runner(executor=Overeager()).run(
+                SweepSpec(name="s", specs=(tightloop_spec(),))
+            )
+
+    def test_describe_mentions_progress_and_source(self):
+        from repro.runner.runner import SpecProgress
+
+        spec = tightloop_spec()
+        result = execute_spec(spec)
+        line = SpecProgress(0, 12, spec, result, cached=True).describe()
+        assert line.startswith("[ 1/12]")
+        assert spec.label() in line
+        assert "(cached)" in line
 
 
 class TestLegacyParity:

@@ -80,6 +80,42 @@ class TestBackoff:
         with pytest.raises(ConfigurationError):
             BroadcastAwareBackoff(rng, max_window=1)
 
+    @pytest.mark.parametrize(
+        "factory",
+        [ExponentialBackoff, BroadcastAwareBackoff, FixedBackoff],
+        ids=lambda f: f.__name__,
+    )
+    def test_reset_clears_all_contention_state(self, rng, factory):
+        # Regression: reset() used to zero only the window state and leak the
+        # collision/success counters across transceiver resets.
+        backoff = factory(rng)
+        for _ in range(5):
+            backoff.on_collision()
+        backoff.on_success()
+        assert backoff.collisions == 5
+        assert backoff.successes == 1
+        backoff.reset()
+        assert backoff.collisions == 0
+        assert backoff.successes == 0
+        assert backoff.deferral() == 0  # window state gone too
+
+    def test_broadcast_aware_observed_successes_converge_window(self, rng):
+        # Deterministic: the estimate decays by exactly one per observed
+        # success, so a drained channel converges the window back to 1 (and
+        # deferral back to 0) regardless of the RNG stream.
+        backoff = BroadcastAwareBackoff(rng, max_window=64)
+        for _ in range(6):
+            backoff.on_collision()
+        assert backoff._window() == 64
+        for step in range(63):
+            backoff.on_observed_success()
+        assert backoff.estimate == 1.0
+        assert backoff._window() == 1
+        assert backoff.deferral() == 0
+        # Converged is a floor, not an overshoot.
+        backoff.on_observed_success()
+        assert backoff.estimate == 1.0
+
 
 # ---------------------------------------------------------------------------
 # Data channel
