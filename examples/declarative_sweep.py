@@ -1,8 +1,10 @@
-"""Declarative sweeps: the experiment grid as data.
+"""Declarative sweeps: the experiment grid as data, analysis as a frame.
 
 Builds the Figure 7 grid as a :class:`SweepSpec`, runs it once serially and
-once on a process pool (verifying bit-identical cycle counts), then re-runs
-it against an on-disk cache to show that nothing is re-simulated.
+once on a process pool (verifying bit-identical cycle counts), re-runs it
+against an on-disk cache to show that nothing is re-simulated, and ends by
+piping the sweep's :class:`MetricFrame` through a derive -> where -> pivot
+chain — the analysis API every experiment table is built on.
 
 Run with:
     PYTHONPATH=src python examples/declarative_sweep.py
@@ -12,6 +14,7 @@ import tempfile
 import time
 
 from repro import ParallelExecutor, ResultCache, Runner, RunSpec, SweepSpec, workload_names
+from repro.analysis.tables import render_mapping
 
 
 def main() -> None:
@@ -58,6 +61,24 @@ def main() -> None:
     result = Runner().run_spec(spec)
     print(f"one-off {spec.label()}: {result.total_cycles:,} cycles "
           f"(key {spec.key()[:12]}…)")
+
+    # Analysis is a frame, not hand-rolled dict loops: one typed row per grid
+    # point, chainable derive/where/pivot, lossless JSON/CSV round trips.
+    frame = serial_result.frame()
+    table = (
+        frame
+        .derive("cycles_per_iteration", lambda row: row["cycles"] / row["iterations"])
+        .where(config=("Baseline", "WiSync"))
+        .pivot(index=("cores",), series="config", values="cycles_per_iteration")
+        .to_dict()
+    )
+    print()
+    print(render_mapping(table, index_headers=("cores",), sort_rows=True,
+                         title="TightLoop cycles/iteration (from MetricFrame)"))
+    speedups = frame.speedup_over("Baseline").where(config="WiSync")
+    for row in speedups.rows():
+        print(f"  WiSync speedup over Baseline at {row['cores']:>2} cores: "
+              f"{row['speedup']:.1f}x")
 
 
 if __name__ == "__main__":

@@ -53,6 +53,7 @@ from repro.machine import (
     wisync,
     wisync_not,
 )
+from repro.analysis import MetricFrame, Report, compare_frames, load_frame
 from repro.runner import (
     ParallelExecutor,
     ResultCache,
@@ -66,7 +67,7 @@ from repro.runner import (
 )
 from repro.sync import SyncFactory
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -105,4 +106,9 @@ __all__ = [
     "ResultCache",
     "register_workload",
     "workload_names",
+    # analysis API
+    "MetricFrame",
+    "Report",
+    "compare_frames",
+    "load_frame",
 ]

@@ -1,8 +1,34 @@
-"""Analysis helpers: metrics, the Table 4 area/power model, and table text."""
+"""Analysis layer: MetricFrame, declarative reports, comparisons, metrics.
+
+* :mod:`repro.analysis.frame` — the typed, queryable, columnar
+  :class:`MetricFrame` every results consumer is built on.
+* :mod:`repro.analysis.report` — declarative :class:`Report` definitions
+  (the experiment modules each declare one).
+* :mod:`repro.analysis.compare` — frame diffing with per-metric regression
+  thresholds (``repro compare``, the profile gate, CI perf-smoke).
+* :mod:`repro.analysis.metrics` — scalar metric functions with validated
+  denominators.
+* :mod:`repro.analysis.area_power` / :mod:`repro.analysis.tables` — the
+  Table 4 analytical model and fixed-width text rendering.
+"""
 
 from repro.analysis.area_power import CORE_REFERENCES, CoreReference, area_power_table
-from repro.analysis.metrics import speedup, speedups_over_baseline, throughput_per_kcycle
-from repro.analysis.tables import format_table
+from repro.analysis.compare import (
+    FrameComparison,
+    MetricDelta,
+    bench_frame,
+    compare_frames,
+    load_frame,
+)
+from repro.analysis.frame import Column, MetricFrame, Pivot, frame_from_sweep
+from repro.analysis.metrics import (
+    cycles_per_operation,
+    speedup,
+    speedups_over_baseline,
+    throughput_per_kcycle,
+)
+from repro.analysis.report import AggregateRow, Report
+from repro.analysis.tables import format_table, render_columns, render_mapping
 
 __all__ = [
     "CoreReference",
@@ -11,5 +37,19 @@ __all__ = [
     "speedup",
     "speedups_over_baseline",
     "throughput_per_kcycle",
+    "cycles_per_operation",
+    "Column",
+    "MetricFrame",
+    "Pivot",
+    "frame_from_sweep",
+    "Report",
+    "AggregateRow",
+    "FrameComparison",
+    "MetricDelta",
+    "compare_frames",
+    "bench_frame",
+    "load_frame",
     "format_table",
+    "render_mapping",
+    "render_columns",
 ]

@@ -1,17 +1,41 @@
-"""Metric computations used by the experiment harness."""
+"""Metric computations used by the experiment harness.
+
+Every ratio metric validates its denominator: a non-positive cycle count is
+always an upstream harness bug (a truncated run, a miswired sweep), and the
+old behaviour of silently returning ``0.0`` skewed geometric means without a
+trace.  Callers that genuinely want a fallback value pass ``default=`` —
+the escape hatch keeps the old semantics opt-in and visible at the call
+site.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, Mapping
 
+from repro.errors import AnalysisError
 from repro.machine.results import SimResult
-from repro.sim.stats import arithmetic_mean, geometric_mean
+
+#: Sentinel distinguishing "no default supplied" from ``default=None``.
+RAISE = object()
 
 
-def speedup(baseline_cycles: float, other_cycles: float) -> float:
-    """Execution-time speedup of ``other`` relative to ``baseline``."""
+def _guard(value: float, what: str, default: object) -> float:
+    if default is RAISE:
+        raise AnalysisError(
+            f"{what} must be positive, got {value!r}; "
+            "pass default= to map invalid input to a fallback value"
+        )
+    return default  # type: ignore[return-value]
+
+
+def speedup(baseline_cycles: float, other_cycles: float, default: object = RAISE) -> float:
+    """Execution-time speedup of ``other`` relative to ``baseline``.
+
+    Raises :class:`~repro.errors.AnalysisError` when ``other_cycles`` is not
+    positive unless a ``default`` fallback is supplied.
+    """
     if other_cycles <= 0:
-        return 0.0
+        return _guard(other_cycles, "speedup denominator (other_cycles)", default)
     return baseline_cycles / other_cycles
 
 
@@ -24,19 +48,31 @@ def speedups_over_baseline(results: Mapping[str, SimResult], baseline_name: str 
     }
 
 
-def throughput_per_kcycle(total_operations: int, total_cycles: int) -> float:
-    """Operations per 1000 cycles (the y-axis of Figure 9)."""
+def throughput_per_kcycle(
+    total_operations: int, total_cycles: int, default: object = RAISE
+) -> float:
+    """Operations per 1000 cycles (the y-axis of Figure 9).
+
+    Raises :class:`~repro.errors.AnalysisError` when ``total_cycles`` is not
+    positive unless a ``default`` fallback is supplied.
+    """
     if total_cycles <= 0:
-        return 0.0
+        return _guard(total_cycles, "throughput denominator (total_cycles)", default)
     return 1000.0 * total_operations / total_cycles
 
 
-def geometric_mean_speedup(values: Iterable[float]) -> float:
-    return geometric_mean(list(values))
+def cycles_per_operation(
+    total_cycles: int, total_operations: float, default: object = RAISE
+) -> float:
+    """Cycles per completed operation — the contention-suite normalization.
 
-
-def arithmetic_mean_speedup(values: Iterable[float]) -> float:
-    return arithmetic_mean(list(values))
+    Total cycles are incomparable across contention levels (a ``high`` preset
+    simply does more work); cycles per completed operation is the
+    per-operation cost the MAC-comparison literature reports.
+    """
+    if total_operations is None or total_operations <= 0:
+        return _guard(total_operations, "cycles/op denominator (operations)", default)
+    return total_cycles / total_operations
 
 
 def utilization_percent(result: SimResult) -> float:

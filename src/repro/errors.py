@@ -54,3 +54,12 @@ class ToneBarrierError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload definition is invalid or issued an unsupported operation."""
+
+
+class AnalysisError(ReproError):
+    """A metric computation or MetricFrame operation received invalid input.
+
+    Raised instead of silently returning 0.0: a zero-cycle run fed to a
+    speedup or throughput computation is always a harness bug upstream, and
+    masking it skews geometric means and paper tables without a trace.
+    """

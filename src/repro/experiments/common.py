@@ -88,3 +88,13 @@ def run_sweep(
 ) -> Dict[RunSpec, SimResult]:
     """Execute ``sweep`` on ``runner`` (serial default); results per spec."""
     return default_runner(runner).run(sweep).results
+
+
+def run_frame(sweep: SweepSpec, runner: Optional[Runner] = None):
+    """Execute ``sweep`` and return its :class:`~repro.analysis.frame.MetricFrame`.
+
+    This is the canonical consumption path: every experiment module's
+    ``run_*`` function builds its table by piping this frame through the
+    module's :class:`~repro.analysis.report.Report`.
+    """
+    return default_runner(runner).run(sweep).frame()

@@ -9,13 +9,43 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.analysis.metrics import arithmetic_mean_speedup, geometric_mean_speedup
-from repro.analysis.tables import format_table
-from repro.experiments.common import CONFIG_BUILDERS, run_sweep, specs_over_configs
+from repro.analysis.report import AggregateRow, Report, speedup_over
+from repro.experiments.common import CONFIG_BUILDERS, run_frame, specs_over_configs
 from repro.machine.results import SimResult
-from repro.runner.runner import Runner
+from repro.runner.runner import Runner, default_runner
 from repro.runner.spec import SweepSpec
 from repro.workloads.synthetic_apps import application_names
+
+
+def fig10_report(configs: Optional[List[str]] = None) -> Report:
+    """Declarative presentation: per-app speedups plus mean/geoMean rows.
+
+    The aggregate rows cover only the non-Baseline configurations — the
+    Baseline column's speedup is 1.0 by construction and would only dilute
+    the means.
+    """
+    configs = configs if configs is not None else list(CONFIG_BUILDERS)
+    if "Baseline" not in configs:
+        configs = ["Baseline"] + configs
+    non_baseline = tuple(label for label in configs if label != "Baseline")
+    return Report(
+        name="fig10",
+        title="Figure 10: speedup over Baseline (64 cores)",
+        index=("app",),
+        index_headers=("application",),
+        series="config",
+        values="speedup",
+        transforms=(speedup_over("Baseline"),),
+        aggregates=(
+            AggregateRow("mean", "mean", series=non_baseline),
+            AggregateRow("geoMean", "geomean", series=non_baseline),
+        ),
+        series_order=tuple(CONFIG_BUILDERS),
+        drop_series=("Baseline",),
+    )
+
+
+FIG10_REPORT = fig10_report()
 
 
 def fig10_sweep(
@@ -52,43 +82,20 @@ def run_fig10(
 
     Two synthetic rows, ``mean`` and ``geoMean``, aggregate over the selected
     applications.  With ``keep_results`` the raw :class:`SimResult` objects
-    are attached under the ``_results`` key of each application entry (used
-    by the Table 5 utilization experiment to avoid re-running everything).
+    are attached under the ``_results`` key of each application entry (escape
+    hatch for consumers that need full per-run stats, not just the frame).
     """
-    apps = apps if apps is not None else application_names()
-    configs = configs if configs is not None else list(CONFIG_BUILDERS)
-    if "Baseline" not in configs:
-        configs = ["Baseline"] + configs
     sweep = fig10_sweep(apps, num_cores, phase_scale, configs)
-    sweep_results = run_sweep(sweep, runner)
-    table: Dict[str, Dict[str, float]] = {}
-    raw: Dict[str, Dict[str, SimResult]] = {}
-    for spec in sweep:
-        app = spec.params_dict()["app"]
-        raw.setdefault(app, {})[spec.config] = sweep_results[spec]
-    for app in apps:
-        base_cycles = raw[app]["Baseline"].total_cycles
-        table[app] = {
-            label: base_cycles / result.total_cycles for label, result in raw[app].items()
-        }
-    non_baseline = [label for label in configs if label != "Baseline"]
-    table["mean"] = {
-        label: arithmetic_mean_speedup(table[app][label] for app in apps) for label in non_baseline
-    }
-    table["geoMean"] = {
-        label: geometric_mean_speedup(table[app][label] for app in apps) for label in non_baseline
-    }
+    outcome = default_runner(runner).run(sweep)
+    table = fig10_report(configs).table(outcome.frame())
     if keep_results:
+        raw: Dict[str, Dict[str, SimResult]] = {}
+        for spec, result in outcome:
+            raw.setdefault(spec.params_dict()["app"], {})[spec.config] = result
         table["_results"] = raw  # type: ignore[assignment]
     return table
 
 
 def format_fig10(table: Dict[str, Dict[str, float]]) -> str:
     rows_source = {name: cols for name, cols in table.items() if not name.startswith("_")}
-    labels = [label for label in CONFIG_BUILDERS
-              if any(label in cols for cols in rows_source.values()) and label != "Baseline"]
-    headers = ["application"] + labels
-    rows = []
-    for name, cols in rows_source.items():
-        rows.append([name] + [cols.get(label, float("nan")) for label in labels])
-    return format_table(headers, rows, title="Figure 10: speedup over Baseline (64 cores)")
+    return FIG10_REPORT.render_table(rows_source)

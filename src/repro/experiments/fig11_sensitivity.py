@@ -11,12 +11,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.analysis.tables import format_table
-from repro.experiments.common import CONFIG_BUILDERS, run_sweep, specs_over_configs
+from repro.analysis.report import Report, group_by, speedup_over, where
+from repro.experiments.common import CONFIG_BUILDERS, run_frame, specs_over_configs
 from repro.machine.configs import sensitivity_variants
 from repro.runner.runner import Runner
 from repro.runner.spec import SweepSpec
-from repro.sim.stats import geometric_mean
 
 #: Representative application subset used by default to keep the sweep fast;
 #: pass ``apps=application_names()`` for the full Figure 11 input set.
@@ -24,6 +23,26 @@ DEFAULT_SENSITIVITY_APPS = [
     "streamcluster", "ocean-c", "raytrace", "radiosity", "water-ns",
     "barnes", "blackscholes", "fft",
 ]
+
+#: Fixed comparison columns (fig11 always runs all four configurations).
+FIG11_CONFIGS = ("Baseline+", "WiSyncNoT", "WiSync")
+
+#: Declarative presentation: per-app speedups over Baseline within each
+#: Table 6 variant, geomean-aggregated per (variant, config).
+FIG11_REPORT = Report(
+    name="fig11",
+    title="Figure 11: geometric-mean speedup over Baseline per Table 6 variant",
+    index=("variant",),
+    series="config",
+    values="speedup_gm",
+    transforms=(
+        speedup_over("Baseline"),
+        where(config=FIG11_CONFIGS),
+        group_by(("variant", "config"), speedup_gm=("speedup", "geomean")),
+    ),
+    series_order=FIG11_CONFIGS,
+    filter_present=False,
+)
 
 
 def variant_names(num_cores: int = 64) -> List[str]:
@@ -65,32 +84,9 @@ def run_fig11(
     runner: Optional[Runner] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Geometric-mean speedups over Baseline, keyed by variant then config."""
-    apps = apps if apps is not None else DEFAULT_SENSITIVITY_APPS
-    names = variants if variants is not None else variant_names(num_cores)
-    sweep = fig11_sweep(apps, num_cores, phase_scale, names)
-    results = run_sweep(sweep, runner)
-    # cycles[(variant, app)][config] -> total cycles
-    cycles: Dict[tuple, Dict[str, int]] = {}
-    for spec in sweep:
-        app = spec.params_dict()["app"]
-        cycles.setdefault((spec.variant, app), {})[spec.config] = results[spec].total_cycles
-    table: Dict[str, Dict[str, float]] = {}
-    for variant in names:
-        speedups: Dict[str, List[float]] = {"Baseline+": [], "WiSyncNoT": [], "WiSync": []}
-        for app in apps:
-            point = cycles[(variant, app)]
-            for label in speedups:
-                speedups[label].append(point["Baseline"] / point[label])
-        table[variant] = {
-            label: geometric_mean(values) for label, values in speedups.items()
-        }
-    return table
+    frame = run_frame(fig11_sweep(apps, num_cores, phase_scale, variants), runner)
+    return FIG11_REPORT.table(frame)
 
 
 def format_fig11(table: Dict[str, Dict[str, float]]) -> str:
-    labels = ["Baseline+", "WiSyncNoT", "WiSync"]
-    headers = ["variant"] + labels
-    rows = [[variant] + [cols.get(label, float("nan")) for label in labels]
-            for variant, cols in table.items()]
-    return format_table(headers, rows,
-                        title="Figure 11: geometric-mean speedup over Baseline per Table 6 variant")
+    return FIG11_REPORT.render_table(table)

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.analysis.tables import format_table
-from repro.experiments.common import CONFIG_BUILDERS, run_sweep, specs_over_configs
+from repro.analysis.report import Report, ratio_of
+from repro.experiments.common import CONFIG_BUILDERS, run_frame, specs_over_configs
 from repro.runner.runner import Runner
 from repro.runner.spec import SweepSpec
 
@@ -20,6 +20,18 @@ from repro.runner.spec import SweepSpec
 #: list explicitly to regenerate the entire figure.
 DEFAULT_CORE_COUNTS = [16, 32, 64, 128]
 PAPER_CORE_COUNTS = [16, 32, 64, 128, 256]
+
+#: Declarative presentation: cycles/iteration per core count and config.
+FIG7_REPORT = Report(
+    name="fig7",
+    title="Figure 7: TightLoop cycles/iteration",
+    index=("cores",),
+    series="config",
+    values="cycles_per_iteration",
+    transforms=(ratio_of("cycles_per_iteration", "cycles", "iterations"),),
+    series_order=tuple(CONFIG_BUILDERS),
+    sort_rows=True,
+)
 
 
 def fig7_sweep(
@@ -47,19 +59,9 @@ def run_fig7(
     runner: Optional[Runner] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Cycles per TightLoop iteration, keyed by core count then configuration."""
-    sweep = fig7_sweep(core_counts, iterations, configs)
-    results = run_sweep(sweep, runner)
-    series: Dict[int, Dict[str, float]] = {}
-    for spec in sweep:
-        series.setdefault(spec.num_cores, {})[spec.config] = (
-            results[spec].total_cycles / iterations
-        )
-    return series
+    frame = run_frame(fig7_sweep(core_counts, iterations, configs), runner)
+    return FIG7_REPORT.table(frame)
 
 
 def format_fig7(series: Dict[int, Dict[str, float]]) -> str:
-    labels = [label for label in CONFIG_BUILDERS if any(label in row for row in series.values())]
-    headers = ["cores"] + labels
-    rows = [[cores] + [series[cores].get(label, float("nan")) for label in labels]
-            for cores in sorted(series)]
-    return format_table(headers, rows, title="Figure 7: TightLoop cycles/iteration")
+    return FIG7_REPORT.render_table(series)

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.tables import format_table
-from repro.experiments.common import CONFIG_BUILDERS, run_sweep, specs_over_configs
+from repro.analysis.report import Report, derive
+from repro.experiments.common import CONFIG_BUILDERS, run_frame, specs_over_configs
 from repro.runner.runner import Runner
 from repro.runner.spec import SweepSpec
 from repro.workloads.livermore import LivermoreLoop
@@ -27,6 +27,19 @@ PAPER_VECTOR_LENGTHS = {
     LivermoreLoop.INNER_PRODUCT: [16, 64, 256, 1024, 4096, 16384],
     LivermoreLoop.LINEAR_RECURRENCE: [16, 32, 64, 128, 256, 512, 1024, 2048],
 }
+
+#: Declarative presentation: execution time per (loop, cores, vector length).
+FIG8_REPORT = Report(
+    name="fig8",
+    title="Figure 8: Livermore loop execution time (cycles)",
+    index=("loop", "cores", "vector_length"),
+    index_headers=("loop", "cores", "vector_len"),
+    series="config",
+    values="total_cycles_f",
+    transforms=(derive("total_cycles_f", lambda row: float(row["cycles"])),),
+    series_order=tuple(CONFIG_BUILDERS),
+    sort_rows=True,
+)
 
 
 def fig8_sweep(
@@ -66,23 +79,11 @@ def run_fig8(
     runner: Optional[Runner] = None,
 ) -> Dict[Tuple[int, int, int], Dict[str, float]]:
     """Execution time keyed by ``(loop, cores, vector_length)`` then config."""
-    sweep = fig8_sweep(loops, core_counts, vector_lengths, repetitions, configs)
-    results = run_sweep(sweep, runner)
-    series: Dict[Tuple[int, int, int], Dict[str, float]] = {}
-    for spec in sweep:
-        params = spec.params_dict()
-        key = (params["loop"], spec.num_cores, params["vector_length"])
-        series.setdefault(key, {})[spec.config] = float(results[spec].total_cycles)
-    return series
+    frame = run_frame(
+        fig8_sweep(loops, core_counts, vector_lengths, repetitions, configs), runner
+    )
+    return FIG8_REPORT.table(frame)
 
 
 def format_fig8(series: Dict[Tuple[int, int, int], Dict[str, float]]) -> str:
-    labels = [label for label in CONFIG_BUILDERS
-              if any(label in row for row in series.values())]
-    headers = ["loop", "cores", "vector_len"] + labels
-    rows = []
-    for (loop, cores, length) in sorted(series):
-        row = [loop, cores, length]
-        row.extend(series[(loop, cores, length)].get(label, float("nan")) for label in labels)
-        rows.append(row)
-    return format_table(headers, rows, title="Figure 8: Livermore loop execution time (cycles)")
+    return FIG8_REPORT.render_table(series)

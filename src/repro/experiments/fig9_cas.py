@@ -11,8 +11,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import throughput_per_kcycle
-from repro.analysis.tables import format_table
-from repro.experiments.common import run_sweep, specs_over_configs
+from repro.analysis.report import Report, derive
+from repro.experiments.common import run_frame, specs_over_configs
 from repro.runner.runner import Runner
 from repro.runner.spec import SweepSpec
 from repro.workloads.cas_kernels import CasKernelKind
@@ -24,6 +24,27 @@ CAS_CONFIGS = ["Baseline", "WiSync"]
 
 DEFAULT_CRITICAL_SECTIONS = [4096, 256, 16]
 PAPER_CRITICAL_SECTIONS = [65536, 16384, 4096, 1024, 256, 64, 16, 4]
+
+#: Declarative presentation: successful CAS ops per kcycle.  The total
+#: operation count is a *grid* quantity (successes per thread x cores), so it
+#: derives from the row's own dimensions.
+FIG9_REPORT = Report(
+    name="fig9",
+    title="Figure 9: CAS throughput per 1000 cycles",
+    index=("kind", "cores", "critical_section_instructions"),
+    index_headers=("kernel", "cores", "crit_section"),
+    series="config",
+    values="ops_per_kcycle",
+    transforms=(
+        derive(
+            "ops_per_kcycle",
+            lambda row: throughput_per_kcycle(
+                row["successes_per_thread"] * row["cores"], row["cycles"]
+            ),
+        ),
+    ),
+    sort_rows=True,
+)
 
 
 def fig9_sweep(
@@ -70,26 +91,12 @@ def run_fig9(
     runner: Optional[Runner] = None,
 ) -> Dict[Tuple[str, int, int], Dict[str, float]]:
     """Throughput (CAS/1000 cycles) keyed by ``(kernel, cores, crit)`` then config."""
-    sweep = fig9_sweep(kinds, core_counts, critical_sections, successes_per_thread, configs)
-    results = run_sweep(sweep, runner)
-    series: Dict[Tuple[str, int, int], Dict[str, float]] = {}
-    for spec in sweep:
-        params = spec.params_dict()
-        key = (params["kind"], spec.num_cores, params["critical_section_instructions"])
-        total = successes_per_thread * spec.num_cores
-        series.setdefault(key, {})[spec.config] = throughput_per_kcycle(
-            total, results[spec].total_cycles
-        )
-    return series
+    frame = run_frame(
+        fig9_sweep(kinds, core_counts, critical_sections, successes_per_thread, configs),
+        runner,
+    )
+    return FIG9_REPORT.table(frame)
 
 
 def format_fig9(series: Dict[Tuple[str, int, int], Dict[str, float]]) -> str:
-    labels = sorted({label for row in series.values() for label in row})
-    headers = ["kernel", "cores", "crit_section"] + labels
-    rows = []
-    for key in sorted(series):
-        kernel, cores, crit = key
-        row = [kernel, cores, crit]
-        row.extend(series[key].get(label, float("nan")) for label in labels)
-        rows.append(row)
-    return format_table(headers, rows, title="Figure 9: CAS throughput per 1000 cycles")
+    return FIG9_REPORT.render_table(series)

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.tables import format_table
+from repro.analysis.frame import MetricFrame, Row
+from repro.analysis.report import Report
 from repro.errors import ConfigurationError
 from repro.runner.executor import backoff_variant
 from repro.runner.runner import Runner
@@ -153,6 +154,78 @@ def scenario_sweep(
     return SweepSpec(name="scenarios", specs=tuple(specs))
 
 
+#: Contention label for parameter sets that match no preset; a real string
+#: (not None) so the level stays sortable/renderable alongside low/high.
+CUSTOM_CONTENTION = "custom"
+
+
+def contention_level_of(row: Row) -> str:
+    """Reverse-map a frame row's parameter values onto a contention level.
+
+    Specs carry the preset's *parameters*, not the level name; a row whose
+    parameters exactly match the workload's preset at some level gets that
+    level's name back (custom parameter sets map to
+    :data:`CUSTOM_CONTENTION`).  A parameter whose name collided with a
+    metric column lives under ``param_<name>`` (rwlock's ``operations`` knob
+    versus the completed-operations count).
+    """
+
+    def param(row: Row, knob: str):
+        prefixed = f"param_{knob}"
+        return row[prefixed] if prefixed in row else row.get(knob)
+
+    for level, presets in CONTENTION_LEVELS.items():
+        preset = presets.get(row["workload"])
+        if preset is not None and all(
+            param(row, knob) == value for knob, value in preset.items()
+        ):
+            return level
+    return CUSTOM_CONTENTION
+
+
+def scenario_frame(frame: MetricFrame, backoffs: Optional[List[str]] = None) -> MetricFrame:
+    """Analysis view of a scenario sweep: contention level + per-op cost.
+
+    Adds the ``contention`` dimension (reverse-mapped from the parameter
+    presets), replicates MAC-free rows across the requested ``backoffs``
+    (one Baseline simulation serves every backoff row of its grid point),
+    and derives ``cycles_per_op`` — the normalization that makes low/high
+    contention rows comparable (their total work differs by construction).
+    """
+    backoffs = backoffs if backoffs is not None else list(DEFAULT_BACKOFFS)
+    frame = frame.derive("contention", contention_level_of, type="str", kind="dim")
+    frame = frame.explode(
+        "backoff", backoffs, where=lambda row: row["config"] not in WIRELESS_CONFIGS
+    )
+    return frame.cycles_per_op(default=None)
+
+
+def scenarios_report(
+    configs: Optional[List[str]] = None, values: str = "cycles_per_op"
+) -> Report:
+    """Declarative presentation of the contention grid.
+
+    The default metric is ``cycles_per_op``; the legacy total-cycles view
+    passes ``values="total_cycles_f"``.
+    """
+    titles = {
+        "cycles_per_op": "Contention scenarios: cycles per completed operation",
+        "total_cycles_f": "Contention scenarios: total cycles",
+    }
+    return Report(
+        name="scenarios",
+        title=titles.get(values, f"Contention scenarios: {values}"),
+        index=("workload", "contention", "cores", "backoff"),
+        index_headers=("scenario", "contention", "cores", "backoff"),
+        series="config",
+        values=values,
+        series_order=tuple(configs) if configs is not None else None,
+        series_sort=False,
+        filter_present=False,
+        sort_rows=True,
+    )
+
+
 def run_scenarios(
     scenarios: Optional[List[str]] = None,
     core_counts: Optional[List[int]] = None,
@@ -175,32 +248,10 @@ def run_scenarios(
     sweep = scenario_sweep(scenarios, core_counts, configs, contention, backoffs)
     from repro.runner.runner import default_runner
 
-    results = default_runner(runner).run(sweep).results
-    table: Dict[ScenarioKey, Dict[str, float]] = {}
-    for scenario in scenarios:
-        for level in contention:
-            for cores in core_counts:
-                for kind in backoffs:
-                    row: Dict[str, float] = {}
-                    for config in configs:
-                        effective = kind if config in WIRELESS_CONFIGS else DEFAULT_BACKOFF
-                        spec = _spec_for(scenario, level, cores, config, effective, DEFAULT_SEED)
-                        row[config] = float(results[spec].total_cycles)
-                    table[(scenario, level, cores, kind)] = row
-    return table
+    frame = scenario_frame(default_runner(runner).run(sweep).frame(), backoffs)
+    frame = frame.derive("total_cycles_f", lambda row: float(row["cycles"]))
+    return scenarios_report(configs, values="total_cycles_f").table(frame, prepared=True)
 
 
 def format_scenarios(table: Dict[ScenarioKey, Dict[str, float]]) -> str:
-    configs: List[str] = []
-    for row in table.values():
-        for label in row:
-            if label not in configs:
-                configs.append(label)
-    headers = ["scenario", "contention", "cores", "backoff"] + configs
-    rows = [
-        list(key) + [row.get(label, float("nan")) for label in configs]
-        for key, row in sorted(table.items())
-    ]
-    return format_table(
-        headers, rows, title="Contention scenarios: total cycles"
-    )
+    return scenarios_report(values="total_cycles_f").render_table(table)

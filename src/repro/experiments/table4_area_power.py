@@ -9,7 +9,42 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.analysis.area_power import area_power_table
-from repro.analysis.tables import format_table
+from repro.analysis.frame import Column, MetricFrame
+from repro.analysis.report import Report
+
+#: Column layout of the analytical table's frame.
+TABLE4_SCHEMA = (
+    Column("item", "str", "dim"),
+    Column("area_mm2", "float", "metric"),
+    Column("power_w", "float", "metric"),
+    Column("rf_area_percent", "float", "metric"),
+    Column("rf_power_percent", "float", "metric"),
+)
+
+#: Declarative presentation: one row per item, fixed value columns; the RF
+#: row's not-applicable percentage cells render as "-".
+TABLE4_REPORT = Report(
+    name="table4",
+    title="Table 4: transceiver + 2 antennas vs 22nm cores",
+    index=("item",),
+    values="area_mm2",
+    series=None,
+    value_columns=(
+        ("area_mm2", "area_mm2"),
+        ("power_w", "power_w"),
+        ("rf_area_percent", "rf_area_%"),
+        ("rf_power_percent", "rf_power_%"),
+    ),
+)
+
+
+def table4_frame(technology_nm: int = 22) -> MetricFrame:
+    """The analytical Table 4 numbers as a MetricFrame."""
+    rows = [
+        {"item": name, **columns}
+        for name, columns in area_power_table(technology_nm).items()
+    ]
+    return MetricFrame.from_rows(TABLE4_SCHEMA, rows)
 
 
 def run_table4(technology_nm: int = 22, runner=None) -> Dict[str, Dict[str, float]]:
@@ -18,21 +53,8 @@ def run_table4(technology_nm: int = 22, runner=None) -> Dict[str, Dict[str, floa
     ``runner`` is accepted (and ignored) for CLI uniformity with the
     simulation-backed experiments; this one is a closed-form model.
     """
-    return area_power_table(technology_nm)
+    return TABLE4_REPORT.table(table4_frame(technology_nm))
 
 
 def format_table4(table: Dict[str, Dict[str, float]]) -> str:
-    rf = table["transceiver+2antennas"]
-    headers = ["item", "area_mm2", "power_w", "rf_area_%", "rf_power_%"]
-    rows = [["transceiver+2antennas", rf["area_mm2"], rf["power_w"], "-", "-"]]
-    for name, columns in table.items():
-        if name == "transceiver+2antennas":
-            continue
-        rows.append([
-            name,
-            columns["area_mm2"],
-            columns["power_w"],
-            columns["rf_area_percent"],
-            columns["rf_power_percent"],
-        ])
-    return format_table(headers, rows, title="Table 4: transceiver + 2 antennas vs 22nm cores")
+    return TABLE4_REPORT.render_table(table)

@@ -10,16 +10,37 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.analysis.metrics import utilization_percent
-from repro.analysis.tables import format_table
-from repro.experiments.common import run_sweep, specs_over_configs
+from repro.analysis.report import AggregateRow, Report, derive
+from repro.experiments.common import run_frame, specs_over_configs
 from repro.runner.runner import Runner
 from repro.runner.spec import SweepSpec
-from repro.sim.stats import geometric_mean
 
 #: Applications the paper singles out in Table 5 (most demanding ones).
 TABLE5_APPS = ["streamcluster", "radiosity", "water-ns", "fluidanimate",
                "raytrace", "ocean-c", "ocean-nc"]
+
+TABLE5_CONFIGS = ("WiSyncNoT", "WiSync")
+
+#: Declarative presentation: utilization percentage per app, with a clamped
+#: geomean row (an application with ~0% utilization must not zero the GM).
+TABLE5_REPORT = Report(
+    name="table5",
+    title="Table 5: Data-channel utilization (% of cycles)",
+    index=("app",),
+    index_headers=("application",),
+    series="config",
+    values="utilization_pct",
+    transforms=(
+        derive("utilization_pct", lambda row: 100.0 * row["data_channel_utilization"]),
+    ),
+    aggregates=(
+        AggregateRow("GM", "geomean", series=TABLE5_CONFIGS, clamp_min=1e-6),
+    ),
+    series_order=TABLE5_CONFIGS,
+    series_headers=(("WiSyncNoT", "WiSyncNoT (%)"), ("WiSync", "WiSync (%)")),
+    filter_present=False,
+    missing=0.0,
+)
 
 
 def table5_sweep(
@@ -37,7 +58,7 @@ def table5_sweep(
             "application",
             {"app": app, "phase_scale": phase_scale},
             num_cores,
-            configs=["WiSyncNoT", "WiSync"],
+            configs=list(TABLE5_CONFIGS),
             seed=seed,
         )
     ]
@@ -52,25 +73,17 @@ def run_table5(
     runner: Optional[Runner] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Data-channel utilization (%) keyed by application then configuration."""
-    apps = apps if apps is not None else TABLE5_APPS
-    sweep = table5_sweep(apps, num_cores, phase_scale)
-    results = run_sweep(sweep, runner)
-    table: Dict[str, Dict[str, float]] = {}
-    for spec in sweep:
-        app = spec.params_dict()["app"]
-        table.setdefault(app, {})[spec.config] = utilization_percent(results[spec])
-    geo_apps = include_geomean_over if include_geomean_over is not None else apps
-    geo_rows = [table[a] for a in geo_apps if a in table]
-    if geo_rows:
-        table["GM"] = {
-            label: geometric_mean([max(1e-6, row[label]) for row in geo_rows])
-            for label in ("WiSyncNoT", "WiSync")
-        }
+    frame = run_frame(table5_sweep(apps, num_cores, phase_scale), runner)
+    table = TABLE5_REPORT.table(frame)
+    if include_geomean_over is not None:
+        # Recompute only the GM row over the requested application subset.
+        table.pop("GM", None)
+        subset = TABLE5_REPORT.pivot(frame.where(app=tuple(include_geomean_over)))
+        gm = TABLE5_REPORT.aggregates[0].compute(subset.to_dict())
+        if gm:
+            table["GM"] = gm
     return table
 
 
 def format_table5(table: Dict[str, Dict[str, float]]) -> str:
-    headers = ["application", "WiSyncNoT (%)", "WiSync (%)"]
-    rows = [[name, cols.get("WiSyncNoT", 0.0), cols.get("WiSync", 0.0)]
-            for name, cols in table.items()]
-    return format_table(headers, rows, title="Table 5: Data-channel utilization (% of cycles)")
+    return TABLE5_REPORT.render_table(table)

@@ -78,9 +78,9 @@ class SimResult:
 
     def speedup_over(self, other: "SimResult") -> float:
         """Execution-time speedup of this run relative to ``other``."""
-        if self.total_cycles <= 0:
-            return 0.0
-        return other.total_cycles / self.total_cycles
+        from repro.analysis.metrics import speedup
+
+        return speedup(other.total_cycles, self.total_cycles, default=0.0)
 
     # -------------------------------------------------------- serialization
     def to_dict(self) -> Dict[str, Any]:

@@ -19,7 +19,9 @@ from repro.machine.results import SimResult
 from repro.runner.spec import RunSpec
 
 #: Bump when the on-disk layout or SimResult serialization changes shape.
-CACHE_FORMAT_VERSION = 1
+#: v2: results carry ``extra["operations"]`` / ``extra["wall_seconds"]``,
+#: which the MetricFrame analysis layer derives per-op metrics from.
+CACHE_FORMAT_VERSION = 2
 
 
 class ResultCache:

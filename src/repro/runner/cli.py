@@ -7,16 +7,26 @@
     python -m repro run fig9 --cores 64 --crit 16,256 --json fig9.json
     python -m repro run fig10 --apps streamcluster,raytrace --cache .wisync-cache
     python -m repro run scenarios --contention low,high --backoffs broadcast_aware,exponential --progress
+    python -m repro report fig7 --cores 16,32 --cache .wisync-cache --json fig7_frame.json
+    python -m repro report scenarios --contention low,high --csv scenarios.csv
+    python -m repro compare old_frame.json new_frame.json --threshold cycles=0.05
+    python -m repro compare BENCH_fig7.json BENCH_fig7.ci.json --max-regression 0.30
     python -m repro scenarios
     python -m repro profile fig7 --quick --baseline BENCH_fig7.json
 
 ``run`` reports how many grid points were freshly simulated versus served
 from the cache, so a repeated invocation with ``--cache`` visibly performs
 zero new simulations; ``--progress`` streams one line per grid point to
-stderr as it completes.  ``scenarios`` prints the contention-scenario
+stderr as it completes.  ``report`` renders an experiment's paper table from
+its :class:`~repro.analysis.frame.MetricFrame` (with ``--cache`` a warm
+cache makes this pure rendering — zero simulations) and can write the frame
+as lossless JSON/CSV.  ``compare`` diffs two such frames — or two
+``BENCH_*.json`` profile records — with per-metric regression thresholds;
+it is the single gating implementation behind ``profile --baseline`` and
+the CI perf-smoke job.  ``scenarios`` prints the contention-scenario
 catalog.  ``profile`` times a pinned sweep, writes a
 ``BENCH_<experiment>.json`` throughput record, and can gate on a committed
-baseline (used by the CI perf-smoke job).
+baseline.
 """
 
 from __future__ import annotations
@@ -184,6 +194,106 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace, Runner], Any]] = {
 
 
 # --------------------------------------------------------------------------
+# Report adapters: map CLI arguments onto (Report, prepared MetricFrame).
+# --------------------------------------------------------------------------
+def _report_fig7(args: argparse.Namespace, runner: Runner):
+    from repro.experiments.fig7_tightloop import FIG7_REPORT, fig7_sweep
+
+    frame = runner.run(fig7_sweep(args.cores, args.iterations, args.configs)).frame()
+    return FIG7_REPORT, FIG7_REPORT.prepare(frame)
+
+
+def _report_fig8(args: argparse.Namespace, runner: Runner):
+    from repro.experiments.fig8_livermore import FIG8_REPORT, fig8_sweep
+
+    frame = runner.run(
+        fig8_sweep(core_counts=args.cores, repetitions=args.repetitions, configs=args.configs)
+    ).frame()
+    return FIG8_REPORT, FIG8_REPORT.prepare(frame)
+
+
+def _report_fig9(args: argparse.Namespace, runner: Runner):
+    from repro.experiments.fig9_cas import FIG9_REPORT, fig9_sweep
+
+    frame = runner.run(
+        fig9_sweep(core_counts=args.cores, critical_sections=args.crit, configs=args.configs)
+    ).frame()
+    return FIG9_REPORT, FIG9_REPORT.prepare(frame)
+
+
+def _report_fig10(args: argparse.Namespace, runner: Runner):
+    from repro.experiments.fig10_applications import fig10_report, fig10_sweep
+
+    report = fig10_report(args.configs)
+    frame = runner.run(
+        fig10_sweep(
+            apps=args.apps, num_cores=_single_core_count(args),
+            phase_scale=args.phase_scale, configs=args.configs,
+        )
+    ).frame()
+    return report, report.prepare(frame)
+
+
+def _report_fig11(args: argparse.Namespace, runner: Runner):
+    from repro.experiments.fig11_sensitivity import FIG11_REPORT, fig11_sweep
+
+    _warn_fixed_configs(args, "fig11 always compares all four Table 2 configurations")
+    frame = runner.run(
+        fig11_sweep(
+            apps=args.apps, num_cores=_single_core_count(args),
+            phase_scale=args.phase_scale, variants=args.variants,
+        )
+    ).frame()
+    return FIG11_REPORT, FIG11_REPORT.prepare(frame)
+
+
+def _report_table4(args: argparse.Namespace, runner: Runner):
+    from repro.experiments.table4_area_power import TABLE4_REPORT, table4_frame
+
+    return TABLE4_REPORT, table4_frame(args.technology_nm)
+
+
+def _report_table5(args: argparse.Namespace, runner: Runner):
+    from repro.experiments.table5_utilization import TABLE5_REPORT, table5_sweep
+
+    _warn_fixed_configs(args, "table5 always measures WiSyncNoT and WiSync")
+    frame = runner.run(
+        table5_sweep(
+            apps=args.apps, num_cores=_single_core_count(args),
+            phase_scale=args.phase_scale,
+        )
+    ).frame()
+    return TABLE5_REPORT, TABLE5_REPORT.prepare(frame)
+
+
+def _report_scenarios(args: argparse.Namespace, runner: Runner):
+    from repro.experiments.scenarios import (
+        scenario_frame,
+        scenario_sweep,
+        scenarios_report,
+    )
+
+    sweep = scenario_sweep(
+        scenarios=args.scenarios, core_counts=args.cores, configs=args.configs,
+        contention=args.contention, backoffs=args.backoffs,
+    )
+    frame = scenario_frame(runner.run(sweep).frame(), args.backoffs)
+    return scenarios_report(args.configs), frame
+
+
+REPORTS: Dict[str, Callable[[argparse.Namespace, Runner], Any]] = {
+    "fig7": _report_fig7,
+    "fig8": _report_fig8,
+    "fig9": _report_fig9,
+    "fig10": _report_fig10,
+    "fig11": _report_fig11,
+    "table4": _report_table4,
+    "table5": _report_table5,
+    "scenarios": _report_scenarios,
+}
+
+
+# --------------------------------------------------------------------------
 # Argument parsing
 # --------------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
@@ -198,66 +308,111 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
+    def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+        """Axis/executor flags shared by the ``run`` and ``report`` commands."""
+        parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+        parser.add_argument(
+            "--cores", type=_comma_ints, default=None, metavar="N,N,...",
+            help="core counts to sweep (fig7/8/9) or the single core count (fig10/11, table5)",
+        )
+        parser.add_argument(
+            "--configs", type=_comma_strs, default=None, metavar="A,B,...",
+            help="Table 2 configuration labels (default: the experiment's own set)",
+        )
+        parser.add_argument(
+            "--parallel", type=int, default=0, metavar="N",
+            help="run the sweep on a process pool with N workers (0 = serial)",
+        )
+        parser.add_argument(
+            "--cache", default=None, metavar="DIR",
+            help="directory for the on-disk result cache (created if missing)",
+        )
+        parser.add_argument("--quiet", action="store_true", help="suppress the formatted table")
+        parser.add_argument(
+            "--progress", action="store_true",
+            help="stream one line per completed grid point to stderr",
+        )
+        # Experiment-specific knobs (ignored by experiments that do not use them).
+        parser.add_argument("--iterations", type=int, default=5, help="fig7: loop iterations")
+        parser.add_argument("--repetitions", type=int, default=2, help="fig8: loop repetitions")
+        parser.add_argument(
+            "--crit", type=_comma_ints, default=None, metavar="N,N,...",
+            help="fig9: critical-section sizes (instructions between CASes)",
+        )
+        parser.add_argument(
+            "--apps", type=_comma_strs, default=None, metavar="A,B,...",
+            help="fig10/fig11/table5: application subset",
+        )
+        parser.add_argument(
+            "--phase-scale", type=float, default=None,
+            help="fig10/fig11/table5: scale factor on application phases",
+        )
+        parser.add_argument(
+            "--variants", type=_comma_strs, default=None, metavar="A,B,...",
+            help="fig11: Table 6 sensitivity variants",
+        )
+        parser.add_argument("--technology-nm", type=int, default=22, help="table4: tech node")
+        parser.add_argument(
+            "--scenarios", type=_comma_strs, default=None, metavar="A,B,...",
+            help="scenarios: contention-scenario subset (default: all; see 'repro scenarios')",
+        )
+        parser.add_argument(
+            "--contention", type=_comma_strs, default=None, metavar="L,L,...",
+            help="scenarios: contention levels to sweep (low, medium, high)",
+        )
+        parser.add_argument(
+            "--backoffs", type=_comma_strs, default=None, metavar="K,K,...",
+            help="scenarios: MAC backoff kinds to sweep on wireless configurations "
+                 "(broadcast_aware, exponential, fixed)",
+        )
+
     run_parser = subparsers.add_parser("run", help="run one experiment's sweep")
-    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
-    run_parser.add_argument(
-        "--cores", type=_comma_ints, default=None, metavar="N,N,...",
-        help="core counts to sweep (fig7/8/9) or the single core count (fig10/11, table5)",
-    )
-    run_parser.add_argument(
-        "--configs", type=_comma_strs, default=None, metavar="A,B,...",
-        help="Table 2 configuration labels (default: the experiment's own set)",
-    )
-    run_parser.add_argument(
-        "--parallel", type=int, default=0, metavar="N",
-        help="run the sweep on a process pool with N workers (0 = serial)",
-    )
-    run_parser.add_argument(
-        "--cache", default=None, metavar="DIR",
-        help="directory for the on-disk result cache (created if missing)",
-    )
+    add_sweep_arguments(run_parser)
     run_parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the experiment's structured results to PATH as JSON ('-' = stdout)",
     )
-    run_parser.add_argument("--quiet", action="store_true", help="suppress the formatted table")
-    run_parser.add_argument(
-        "--progress", action="store_true",
-        help="stream one line per completed grid point to stderr",
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="render an experiment's paper table from its MetricFrame "
+             "(pure rendering when the cache is warm)",
     )
-    # Experiment-specific knobs (ignored by experiments that do not use them).
-    run_parser.add_argument("--iterations", type=int, default=5, help="fig7: loop iterations")
-    run_parser.add_argument("--repetitions", type=int, default=2, help="fig8: loop repetitions")
-    run_parser.add_argument(
-        "--crit", type=_comma_ints, default=None, metavar="N,N,...",
-        help="fig9: critical-section sizes (instructions between CASes)",
+    add_sweep_arguments(report_parser)
+    report_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the derived MetricFrame to PATH as lossless JSON ('-' = stdout); "
+             "feed these files to 'repro compare'",
     )
-    run_parser.add_argument(
-        "--apps", type=_comma_strs, default=None, metavar="A,B,...",
-        help="fig10/fig11/table5: application subset",
+    report_parser.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="write the derived MetricFrame to PATH as typed CSV ('-' = stdout)",
     )
-    run_parser.add_argument(
-        "--phase-scale", type=float, default=None,
-        help="fig10/fig11/table5: scale factor on application phases",
+
+    compare_parser = subparsers.add_parser(
+        "compare",
+        help="diff two result payloads (MetricFrame JSON from 'report --json', "
+             "or BENCH_*.json profile records) with per-metric thresholds",
     )
-    run_parser.add_argument(
-        "--variants", type=_comma_strs, default=None, metavar="A,B,...",
-        help="fig11: Table 6 sensitivity variants",
+    compare_parser.add_argument("baseline", help="baseline payload path")
+    compare_parser.add_argument("candidate", help="candidate payload path")
+    compare_parser.add_argument(
+        "--metrics", type=_comma_strs, default=None, metavar="A,B,...",
+        help="metric columns to compare (default: all shared numeric metrics)",
     )
-    run_parser.add_argument("--technology-nm", type=int, default=22, help="table4: tech node")
-    run_parser.add_argument(
-        "--scenarios", type=_comma_strs, default=None, metavar="A,B,...",
-        help="scenarios: contention-scenario subset (default: all; see 'repro scenarios')",
+    compare_parser.add_argument(
+        "--threshold", action="append", default=[], metavar="METRIC=FRACTION",
+        help="per-metric regression gate, e.g. events_per_sec=0.30 (repeatable)",
     )
-    run_parser.add_argument(
-        "--contention", type=_comma_strs, default=None, metavar="L,L,...",
-        help="scenarios: contention levels to sweep (low, medium, high)",
+    compare_parser.add_argument(
+        "--max-regression", type=float, default=None, metavar="FRACTION",
+        help="default regression gate applied to every compared metric",
     )
-    run_parser.add_argument(
-        "--backoffs", type=_comma_strs, default=None, metavar="K,K,...",
-        help="scenarios: MAC backoff kinds to sweep on wireless configurations "
-             "(broadcast_aware, exponential, fixed)",
+    compare_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the structured comparison to PATH as JSON ('-' = stdout)",
     )
+    compare_parser.add_argument("--quiet", action="store_true", help="suppress the diff table")
 
     scenarios_parser = subparsers.add_parser(
         "scenarios", help="list the contention-scenario catalog (workloads, knobs, examples)"
@@ -350,10 +505,11 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _build_runner(args: argparse.Namespace):
+    """The cache/executor/progress plumbing shared by ``run`` and ``report``."""
     if args.parallel < 0:
         print(f"error: --parallel must be >= 0, got {args.parallel}", file=sys.stderr)
-        return 2
+        return None
     if args.phase_scale is None:
         args.phase_scale = 0.5 if args.experiment == "fig11" else 1.0
     executor = ParallelExecutor(args.parallel) if args.parallel > 0 else SerialExecutor()
@@ -363,12 +519,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.progress:
         def progress(event: SpecProgress) -> None:
             print(event.describe(), file=sys.stderr, flush=True)
-    runner = Runner(executor=counting, cache=cache, progress=progress)
-    started = time.perf_counter()
-    table, rendered = EXPERIMENTS[args.experiment](args, runner)
-    elapsed = time.perf_counter() - started
-    if not args.quiet:
-        print(rendered)
+    return Runner(executor=counting, cache=cache, progress=progress), counting, cache
+
+
+def _print_run_summary(args: argparse.Namespace, counting, cache, elapsed: float) -> None:
     cached = cache.hits if cache is not None else 0
     print(
         f"{args.experiment}: {counting.simulated} simulated, {cached} cached, "
@@ -376,15 +530,86 @@ def _cmd_run(args: argparse.Namespace) -> int:
         + (f" (parallel={args.parallel})" if args.parallel > 0 else " (serial)"),
         file=sys.stderr,
     )
+
+
+def _write_text(payload: str, path: str) -> None:
+    """Write ``payload`` to ``path``, with ``-`` meaning stdout."""
+    if path == "-":
+        print(payload)
+    else:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(payload if payload.endswith("\n") else payload + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    built = _build_runner(args)
+    if built is None:
+        return 2
+    runner, counting, cache = built
+    started = time.perf_counter()
+    table, rendered = EXPERIMENTS[args.experiment](args, runner)
+    elapsed = time.perf_counter() - started
+    if not args.quiet:
+        print(rendered)
+    _print_run_summary(args, counting, cache, elapsed)
     if args.json:
-        payload = json.dumps(_json_safe(table), indent=2, sort_keys=True)
-        if args.json == "-":
-            print(payload)
-        else:
-            with open(args.json, "w", encoding="utf-8") as stream:
-                stream.write(payload + "\n")
-            print(f"wrote {args.json}", file=sys.stderr)
+        _write_text(json.dumps(_json_safe(table), indent=2, sort_keys=True), args.json)
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    built = _build_runner(args)
+    if built is None:
+        return 2
+    runner, counting, cache = built
+    started = time.perf_counter()
+    report, frame = REPORTS[args.experiment](args, runner)
+    if {"events", "wall_seconds"} <= set(frame.column_names):
+        # Simulator throughput rides along in every written frame so
+        # `repro compare --threshold events_per_sec=...` can trend it.
+        frame = frame.events_per_sec()
+    elapsed = time.perf_counter() - started
+    if not args.quiet:
+        print(report.render(frame, prepared=True))
+    _print_run_summary(args, counting, cache, elapsed)
+    if args.json:
+        _write_text(frame.to_json(), args.json)
+    if args.csv:
+        _write_text(frame.to_csv(), args.csv)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import compare_frames, load_frame
+    from repro.errors import ReproError
+
+    thresholds: Dict[str, float] = {}
+    for entry in args.threshold:
+        name, _, fraction = entry.partition("=")
+        if not name or not fraction:
+            raise ReproError(f"--threshold must look like metric=fraction, got {entry!r}")
+        try:
+            thresholds[name] = float(fraction)
+        except ValueError:
+            raise ReproError(f"--threshold fraction is not a number: {entry!r}")
+    comparison = compare_frames(
+        load_frame(args.baseline),
+        load_frame(args.candidate),
+        metrics=args.metrics,
+        thresholds=thresholds,
+        default_threshold=args.max_regression,
+    )
+    if not args.quiet:
+        print(comparison.render())
+    if args.json:
+        _write_text(json.dumps(comparison.to_dict(), indent=2, sort_keys=True), args.json)
+    if comparison.ok:
+        print(f"compare OK ({args.baseline} -> {args.candidate})", file=sys.stderr)
+        return 0
+    for failure in comparison.failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -420,6 +645,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_scenarios(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
         return _cmd_run(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -63,13 +63,24 @@ def build_config_for(spec: RunSpec):
 
 
 def execute_spec(spec: RunSpec) -> SimResult:
-    """Run one spec end-to-end: config -> machine -> workload -> SimResult."""
+    """Run one spec end-to-end: config -> machine -> workload -> SimResult.
+
+    The simulation's wall-clock time lands in ``result.extra["wall_seconds"]``
+    so a :class:`~repro.analysis.frame.MetricFrame` can derive events/sec per
+    grid point (cached results carry the timing of the run that produced
+    them; their ``cached`` flag says so).
+    """
+    import time
+
     from repro.machine.manycore import Manycore
     from repro.runner.registry import REGISTRY
 
     machine = Manycore(build_config_for(spec))
     handle = REGISTRY.build(machine, spec.workload, spec.params_dict())
-    return handle.run(max_cycles=spec.max_cycles)
+    started = time.perf_counter()
+    result = handle.run(max_cycles=spec.max_cycles)
+    result.extra.setdefault("wall_seconds", round(time.perf_counter() - started, 6))
+    return result
 
 
 def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:

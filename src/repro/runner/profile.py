@@ -156,25 +156,33 @@ def compare_to_baseline(
 
     The gate triggers when events/sec drops more than ``max_regression``
     (a fraction, e.g. 0.30) below the committed baseline's events/sec.
-    Improvements never fail.
+    Improvements never fail.  The check itself is
+    :func:`repro.analysis.compare.compare_frames` — the same implementation
+    behind ``python -m repro compare`` and the CI perf-smoke job.
     """
+    from repro.analysis.compare import bench_frame, compare_frames
+
     try:
         with open(baseline_path, "r", encoding="utf-8") as stream:
             baseline = json.load(stream)
     except (OSError, ValueError) as error:
         raise ReproError(f"cannot read baseline {baseline_path!r}: {error}")
-    base_rate = float(baseline.get("events_per_sec") or 0.0)
-    if base_rate <= 0:
+    if float(baseline.get("events_per_sec") or 0.0) <= 0:
         raise ReproError(f"baseline {baseline_path!r} has no events_per_sec")
-    rate = float(record["events_per_sec"])
-    floor = base_rate * (1.0 - max_regression)
-    if rate < floor:
-        return (
-            f"perf regression: {rate:,.0f} events/sec is "
-            f"{(1 - rate / base_rate) * 100:.1f}% below baseline "
-            f"{base_rate:,.0f} (allowed {max_regression * 100:.0f}%)"
-        )
-    return None
+    comparison = compare_frames(
+        bench_frame(baseline),
+        bench_frame(record),
+        metrics=("events_per_sec",),
+        thresholds={"events_per_sec": max_regression},
+    )
+    if comparison.ok:
+        return None
+    worst = comparison.worst("events_per_sec")
+    return (
+        f"perf regression: {worst.candidate:,.0f} events/sec is "
+        f"{worst.change * 100:.1f}% below baseline "
+        f"{worst.baseline:,.0f} (allowed {max_regression * 100:.0f}%)"
+    )
 
 
 def write_bench(record: Dict[str, object], path: str) -> None:

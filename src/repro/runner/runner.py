@@ -20,8 +20,11 @@ accept a ``progress`` callback receiving the same events.  This is what
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis -> runner)
+    from repro.analysis.frame import MetricFrame
 
 from repro.errors import WorkloadError
 from repro.machine.results import SimResult
@@ -62,6 +65,8 @@ class SweepResult:
     results: Dict[RunSpec, SimResult]
     num_simulated: int = 0
     num_cached: int = 0
+    #: Per-spec provenance: True when the result came from the cache.
+    cached: Dict[RunSpec, bool] = field(default_factory=dict)
 
     def __iter__(self) -> Iterator[Tuple[RunSpec, SimResult]]:
         for spec in self.sweep:
@@ -75,13 +80,27 @@ class SweepResult:
             raise WorkloadError(f"sweep {self.sweep.name!r} holds no result for {spec.label()}")
         return self.results[spec]
 
+    def frame(self) -> "MetricFrame":
+        """The canonical analysis view: one typed row per grid point.
+
+        See :func:`repro.analysis.frame.frame_from_sweep` for the column
+        layout (spec axes as dimensions, run measurements as metrics).
+        """
+        from repro.analysis.frame import frame_from_sweep
+
+        return frame_from_sweep(self)
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "sweep": self.sweep.name,
             "num_simulated": self.num_simulated,
             "num_cached": self.num_cached,
             "runs": [
-                {"spec": spec.to_dict(), "result": result.to_dict()}
+                {
+                    "spec": spec.to_dict(),
+                    "result": result.to_dict(),
+                    "cached": self.cached.get(spec, False),
+                }
                 for spec, result in self
             ],
         }
@@ -139,12 +158,14 @@ class Runner:
         """
         total = len(sweep)
         results: Dict[RunSpec, SimResult] = {}
+        provenance: Dict[RunSpec, bool] = {}
         missing: List[RunSpec] = []
         index = 0
         for spec in sweep:
             cached = self.cache.get(spec) if self.cache is not None else None
             if cached is not None:
                 results[spec] = cached
+                provenance[spec] = True
                 yield SpecProgress(index, total, spec, cached, cached=True)
                 index += 1
             else:
@@ -152,6 +173,7 @@ class Runner:
         for position, result in self._execute_iter(missing):
             spec = missing[position]
             results[spec] = result
+            provenance[spec] = False
             if self.cache is not None:
                 self.cache.put(spec, result)
             yield SpecProgress(index, total, spec, result, cached=False)
@@ -167,6 +189,7 @@ class Runner:
             results=results,
             num_simulated=len(missing),
             num_cached=total - len(missing),
+            cached=provenance,
         )
 
     def _execute_iter(

@@ -24,8 +24,21 @@ class WorkloadHandle:
     metadata: Dict[str, float] = field(default_factory=dict)
 
     def run(self, max_cycles: Optional[int] = None) -> SimResult:
-        """Run the machine and return its result."""
-        return self.machine.run(max_cycles=max_cycles)
+        """Run the machine and return its result.
+
+        A workload that declares ``metadata["operations"]`` — its total count
+        of completed synchronization operations — gets that count recorded in
+        ``result.extra``, where the analysis layer's per-op normalizations
+        (cycles/op across contention levels) pick it up.  The count is the
+        *completed* total, so a ``max_cycles``-truncated run gets no stamp
+        (the planned count would make the cut-off run look spuriously cheap
+        per operation).
+        """
+        result = self.machine.run(max_cycles=max_cycles)
+        operations = self.metadata.get("operations")
+        if operations is not None and result.completed:
+            result.extra.setdefault("operations", float(operations))
+        return result
 
     def cycles_per_iteration(self, result: SimResult) -> float:
         """Total cycles divided by the workload's iteration count."""

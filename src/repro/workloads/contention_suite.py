@@ -133,7 +133,12 @@ def build_pc_ring(
         machine=machine,
         program=program,
         num_threads=num_threads,
-        metadata={"iterations": items, "total_items": items * num_threads},
+        metadata={
+            "iterations": items,
+            "total_items": items * num_threads,
+            # Completed operations = ring handoffs (each produce+consume pair).
+            "operations": items * num_threads,
+        },
     )
 
 
@@ -206,6 +211,8 @@ def build_rwlock(
         metadata={
             "iterations": operations,
             "write_fraction": write_fraction,
+            # Completed operations = lock-protected reads + writes, all threads.
+            "operations": operations * num_threads,
         },
     )
 
@@ -310,7 +317,12 @@ def build_work_steal(
         machine=machine,
         program=program,
         num_threads=num_threads,
-        metadata={"iterations": tasks_per_thread, "total_tasks": total_tasks},
+        metadata={
+            "iterations": tasks_per_thread,
+            "total_tasks": total_tasks,
+            # Completed operations = tasks retired (conserved under stealing).
+            "operations": total_tasks,
+        },
     )
 
 
@@ -374,6 +386,8 @@ def build_barrier_storm(
         metadata={
             "iterations": phases,
             "barriers": phases * storms_per_phase,
+            # Completed operations = barrier crossings over all threads.
+            "operations": phases * storms_per_phase * num_threads,
         },
     )
 
@@ -454,5 +468,10 @@ def build_mixed_phases(
         machine=machine,
         program=program,
         num_threads=num_threads,
-        metadata={"iterations": phases, "num_locks": num_locks},
+        metadata={
+            "iterations": phases,
+            "num_locks": num_locks,
+            # Completed operations = phases finished over all threads.
+            "operations": phases * num_threads,
+        },
     )

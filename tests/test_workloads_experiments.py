@@ -166,8 +166,19 @@ class TestExperimentsAndAnalysis:
 
     def test_metric_helpers(self):
         assert speedup(200, 100) == 2.0
-        assert speedup(200, 0) == 0.0
         assert throughput_per_kcycle(50, 1000) == 50.0
+
+    def test_metric_helpers_reject_non_positive_denominators(self):
+        # The silent-0.0 fallback hid harness bugs; invalid input now raises
+        # unless the caller opts into a fallback with default=.
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError, match="speedup"):
+            speedup(200, 0)
+        with pytest.raises(AnalysisError, match="total_cycles"):
+            throughput_per_kcycle(50, 0)
+        assert speedup(200, 0, default=0.0) == 0.0
+        assert throughput_per_kcycle(50, 0, default=float("nan")) != 0.0
 
     def test_format_table_renders_all_rows(self):
         text = format_table(["a", "b"], [[1, 2.5], ["x", 3]], title="T")
