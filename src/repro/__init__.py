@@ -55,6 +55,7 @@ from repro.machine import (
 )
 from repro.analysis import MetricFrame, Report, compare_frames, load_frame
 from repro.runner import (
+    DistributedExecutor,
     ParallelExecutor,
     ResultCache,
     Runner,
@@ -103,6 +104,7 @@ __all__ = [
     "SweepResult",
     "SerialExecutor",
     "ParallelExecutor",
+    "DistributedExecutor",
     "ResultCache",
     "register_workload",
     "workload_names",

@@ -7,6 +7,8 @@ errors such as :class:`TypeError`.
 
 from __future__ import annotations
 
+from typing import Any, Sequence, Tuple
+
 
 class ReproError(Exception):
     """Base class for every error raised by the repro library."""
@@ -54,6 +56,21 @@ class ToneBarrierError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload definition is invalid or issued an unsupported operation."""
+
+
+class ExecutionError(ReproError):
+    """One or more sweep grid points failed to execute, even after retries.
+
+    Executors raise this only *after* yielding every successful result, so a
+    streaming consumer (``Runner.run_iter``, the cache) keeps the completed
+    grid points; re-running the sweep then only re-dispatches the failures.
+    ``failures`` holds one ``(spec, reason)`` pair per grid point that never
+    produced a result.
+    """
+
+    def __init__(self, message: str, failures: Sequence[Tuple[Any, str]] = ()) -> None:
+        super().__init__(message)
+        self.failures: Tuple[Tuple[Any, str], ...] = tuple(failures)
 
 
 class AnalysisError(ReproError):

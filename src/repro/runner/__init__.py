@@ -8,6 +8,12 @@ driven either from Python (:class:`Runner`) or the ``python -m repro`` CLI.
 """
 
 from repro.runner.cache import ResultCache
+from repro.runner.distributed import (
+    Broker,
+    DistributedExecutor,
+    LocalCluster,
+    run_worker,
+)
 from repro.runner.executor import (
     ParallelExecutor,
     SerialExecutor,
@@ -39,6 +45,10 @@ __all__ = [
     "workload_names",
     "SerialExecutor",
     "ParallelExecutor",
+    "DistributedExecutor",
+    "Broker",
+    "LocalCluster",
+    "run_worker",
     "execute_spec",
     "backoff_variant",
     "ResultCache",

@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -22,6 +23,12 @@ from repro.runner.spec import RunSpec
 #: v2: results carry ``extra["operations"]`` / ``extra["wall_seconds"]``,
 #: which the MetricFrame analysis layer derives per-op metrics from.
 CACHE_FORMAT_VERSION = 2
+
+#: ``*.tmp`` files older than this are orphans: a writer that died between
+#: ``mkstemp`` and ``os.replace``.  A live writer holds its temp file for the
+#: milliseconds one ``json.dump`` takes, so ten minutes is a wide margin even
+#: for distributed workers sharing the directory over a slow network mount.
+STALE_TMP_AGE_SECONDS = 600.0
 
 
 class ResultCache:
@@ -80,6 +87,11 @@ class ResultCache:
             with os.fdopen(handle, "w", encoding="utf-8") as stream:
                 json.dump(payload, stream)
             os.replace(temp_name, self.entry_path(spec))
+        except FileNotFoundError:
+            # A concurrent clear() swept our in-flight temp file out from
+            # under us.  The entry is simply not cached; losing that race
+            # must not abort a sweep that already simulated the result.
+            pass
         except BaseException:
             try:
                 os.unlink(temp_name)
@@ -89,19 +101,25 @@ class ResultCache:
 
     # ------------------------------------------------------------- maintenance
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry and temp file; returns the number removed.
+
+        Race-safe against other maintainers (multi-host shared directories):
+        an entry someone else already removed is simply not counted.
+        """
         removed = 0
         for entry in self.path.glob("*.json"):
-            entry.unlink()
-            removed += 1
-        return removed
+            removed += self._evict(entry)
+        return removed + self._sweep_tmp(max_age=None)
 
-    def prune(self) -> int:
+    def prune(self, stale_tmp_age: float = STALE_TMP_AGE_SECONDS) -> int:
         """Delete every dead entry (corrupt or stale-version); returns the count.
 
         ``get`` already evicts dead entries it happens to touch; ``prune``
         sweeps the whole directory, e.g. after bumping
-        :data:`CACHE_FORMAT_VERSION`.
+        :data:`CACHE_FORMAT_VERSION`.  Orphaned ``*.tmp`` files older than
+        ``stale_tmp_age`` seconds — leaked by writers that died mid-``put``,
+        a recurring state when many distributed workers share the directory —
+        are swept too; younger ones may belong to a live writer and are kept.
         """
         removed = 0
         for entry in self.path.glob("*.json"):
@@ -114,6 +132,20 @@ class ResultCache:
                 continue
             if payload.get("version") != CACHE_FORMAT_VERSION:
                 removed += self._evict(entry)
+        return removed + self._sweep_tmp(max_age=stale_tmp_age)
+
+    def _sweep_tmp(self, max_age: Optional[float]) -> int:
+        """Delete ``*.tmp`` files older than ``max_age`` seconds (None = all)."""
+        removed = 0
+        now = time.time()
+        for entry in self.path.glob("*.tmp"):
+            if max_age is not None:
+                try:
+                    if now - entry.stat().st_mtime < max_age:
+                        continue
+                except OSError:
+                    continue  # its writer just finished or another sweeper won
+            removed += self._evict(entry)
         return removed
 
     @staticmethod

@@ -4,6 +4,9 @@
 
     python -m repro list
     python -m repro run fig7 --cores 16,32 --configs WiSync,Baseline --parallel 8
+    python -m repro run fig7 --quick --distributed 2
+    python -m repro run scenarios --distributed 0 --bind 0.0.0.0:7787 --cache /nfs/sweep-cache
+    python -m repro worker --connect sweephost:7787
     python -m repro run fig9 --cores 64 --crit 16,256 --json fig9.json
     python -m repro run fig10 --apps streamcluster,raytrace --cache .wisync-cache
     python -m repro run scenarios --contention low,high --backoffs broadcast_aware,exponential --progress
@@ -27,6 +30,12 @@ the CI perf-smoke job.  ``scenarios`` prints the contention-scenario
 catalog.  ``profile`` times a pinned sweep, writes a
 ``BENCH_<experiment>.json`` throughput record, and can gate on a committed
 baseline.
+
+``--distributed N`` runs a sweep through the TCP broker with N localhost
+worker subprocesses; ``--bind HOST:PORT`` additionally (or, with
+``--distributed 0``, exclusively) lets external hosts join by running
+``python -m repro worker --connect HOST:PORT``.  ``--quick`` shrinks every
+axis the invocation did not set explicitly down to a CI-sized smoke grid.
 """
 
 from __future__ import annotations
@@ -39,6 +48,12 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 
 from repro.errors import ReproError
 from repro.runner.cache import ResultCache
+from repro.runner.distributed import (
+    WORKER_FAULTS,
+    DistributedExecutor,
+    parse_address,
+    run_worker,
+)
 from repro.runner.executor import ParallelExecutor, SerialExecutor
 from repro.runner.registry import workload_names
 from repro.runner.runner import Runner, SpecProgress
@@ -324,6 +339,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="run the sweep on a process pool with N workers (0 = serial)",
         )
         parser.add_argument(
+            "--distributed", type=int, default=0, metavar="N",
+            help="run the sweep through the TCP broker with N localhost "
+                 "worker subprocesses (0 = off unless --bind is given)",
+        )
+        parser.add_argument(
+            "--bind", default=None, metavar="HOST:PORT",
+            help="broker bind address so external 'repro worker --connect' "
+                 "processes can join (default: 127.0.0.1 on an ephemeral port)",
+        )
+        parser.add_argument(
+            "--quick", action="store_true",
+            help="shrink sweep axes you did not set explicitly to a small "
+                 "smoke grid (what CI runs)",
+        )
+        parser.add_argument(
             "--cache", default=None, metavar="DIR",
             help="directory for the on-disk result cache (created if missing)",
         )
@@ -332,9 +362,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--progress", action="store_true",
             help="stream one line per completed grid point to stderr",
         )
-        # Experiment-specific knobs (ignored by experiments that do not use them).
-        parser.add_argument("--iterations", type=int, default=5, help="fig7: loop iterations")
-        parser.add_argument("--repetitions", type=int, default=2, help="fig8: loop repetitions")
+        # Experiment-specific knobs (ignored by experiments that do not use
+        # them).  iterations/repetitions default to None so --quick can tell
+        # an unset flag from an explicitly passed one; _build_runner fills in
+        # the documented defaults afterwards.
+        parser.add_argument(
+            "--iterations", type=int, default=None,
+            help="fig7: loop iterations (default 5)",
+        )
+        parser.add_argument(
+            "--repetitions", type=int, default=None,
+            help="fig8: loop repetitions (default 2)",
+        )
         parser.add_argument(
             "--crit", type=_comma_ints, default=None, metavar="N,N,...",
             help="fig9: critical-section sizes (instructions between CASes)",
@@ -413,6 +452,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the structured comparison to PATH as JSON ('-' = stdout)",
     )
     compare_parser.add_argument("--quiet", action="store_true", help="suppress the diff table")
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="pull sweep specs from a distributed broker and push results back",
+    )
+    worker_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="broker address (printed by the sweep host, or set via --bind)",
+    )
+    worker_parser.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="lease-heartbeat interval (default: a third of the broker's lease)",
+    )
+    worker_parser.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="exit after completing N specs (default: run until the broker drains)",
+    )
+    worker_parser.add_argument(
+        "--fault", choices=list(WORKER_FAULTS), default=None,
+        help="fault injection for tests and chaos drills "
+             "(also settable via REPRO_WORKER_FAULT)",
+    )
 
     scenarios_parser = subparsers.add_parser(
         "scenarios", help="list the contention-scenario catalog (workloads, knobs, examples)"
@@ -505,15 +566,55 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Per-experiment smoke axes selected by ``--quick`` (only for axes whose
+#: flags were left at their parser defaults; explicit flags always win).
+_QUICK_AXES: Dict[str, Dict[str, Any]] = {
+    "fig7": {"cores": [8, 16], "iterations": 2},
+    "fig8": {"cores": [16], "repetitions": 1},
+    "fig9": {"cores": [16], "crit": [16, 256]},
+    "fig10": {"cores": [16], "phase_scale": 0.25},
+    "fig11": {"cores": [16], "phase_scale": 0.25},
+    "table4": {},
+    "table5": {"cores": [16], "phase_scale": 0.25},
+    "scenarios": {"cores": [16], "contention": ["low"]},
+}
+
+def _apply_quick(args: argparse.Namespace) -> None:
+    if not getattr(args, "quick", False):
+        return
+    for axis, value in _QUICK_AXES.get(args.experiment, {}).items():
+        if getattr(args, axis) is None:
+            setattr(args, axis, value)
+
+
+def _build_executor(args: argparse.Namespace):
+    if args.parallel < 0:
+        raise ReproError(f"--parallel must be >= 0, got {args.parallel}")
+    if args.distributed < 0:
+        raise ReproError(f"--distributed must be >= 0, got {args.distributed}")
+    if args.parallel > 0 and (args.distributed > 0 or args.bind):
+        raise ReproError("--parallel and --distributed/--bind are mutually exclusive")
+    if args.distributed > 0 or args.bind:
+        host, port = parse_address(args.bind) if args.bind else ("127.0.0.1", 0)
+        # (--distributed 0 is only reachable with --bind, so the bind flag
+        # alone decides whether external workers are expected.)
+        return DistributedExecutor(
+            workers=args.distributed, host=host, port=port,
+            external=bool(args.bind),
+        )
+    return ParallelExecutor(args.parallel) if args.parallel > 0 else SerialExecutor()
+
+
 def _build_runner(args: argparse.Namespace):
     """The cache/executor/progress plumbing shared by ``run`` and ``report``."""
-    if args.parallel < 0:
-        print(f"error: --parallel must be >= 0, got {args.parallel}", file=sys.stderr)
-        return None
+    _apply_quick(args)
+    if args.iterations is None:
+        args.iterations = 5
+    if args.repetitions is None:
+        args.repetitions = 2
     if args.phase_scale is None:
         args.phase_scale = 0.5 if args.experiment == "fig11" else 1.0
-    executor = ParallelExecutor(args.parallel) if args.parallel > 0 else SerialExecutor()
-    counting = _CountingExecutor(executor)
+    counting = _CountingExecutor(_build_executor(args))
     cache = ResultCache(args.cache) if args.cache else None
     progress = None
     if args.progress:
@@ -524,10 +625,15 @@ def _build_runner(args: argparse.Namespace):
 
 def _print_run_summary(args: argparse.Namespace, counting, cache, elapsed: float) -> None:
     cached = cache.hits if cache is not None else 0
+    if args.distributed > 0 or args.bind:
+        mode = f" (distributed={args.distributed})"
+    elif args.parallel > 0:
+        mode = f" (parallel={args.parallel})"
+    else:
+        mode = " (serial)"
     print(
         f"{args.experiment}: {counting.simulated} simulated, {cached} cached, "
-        f"{elapsed:.1f}s"
-        + (f" (parallel={args.parallel})" if args.parallel > 0 else " (serial)"),
+        f"{elapsed:.1f}s{mode}",
         file=sys.stderr,
     )
 
@@ -542,11 +648,21 @@ def _write_text(payload: str, path: str) -> None:
         print(f"wrote {path}", file=sys.stderr)
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    host, port = parse_address(args.connect)
+    try:
+        completed = run_worker(
+            host, port,
+            heartbeat=args.heartbeat, max_tasks=args.max_tasks, fault=args.fault,
+        )
+    except OSError as error:
+        raise ReproError(f"cannot reach broker at {args.connect}: {error}")
+    print(f"worker drained: {completed} specs completed", file=sys.stderr)
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    built = _build_runner(args)
-    if built is None:
-        return 2
-    runner, counting, cache = built
+    runner, counting, cache = _build_runner(args)
     started = time.perf_counter()
     table, rendered = EXPERIMENTS[args.experiment](args, runner)
     elapsed = time.perf_counter() - started
@@ -559,10 +675,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    built = _build_runner(args)
-    if built is None:
-        return 2
-    runner, counting, cache = built
+    runner, counting, cache = _build_runner(args)
     started = time.perf_counter()
     report, frame = REPORTS[args.experiment](args, runner)
     if {"events", "wall_seconds"} <= set(frame.column_names):
@@ -645,6 +758,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_scenarios(args)
         if args.command == "profile":
             return _cmd_profile(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         if args.command == "report":
             return _cmd_report(args)
         if args.command == "compare":

@@ -1,0 +1,830 @@
+"""Distributed sweep execution: a JSON-lines-over-TCP broker plus workers.
+
+The contention-scenario grids (cores x config x contention x backoff) and the
+paper's fig7-fig11 grids saturate one machine's process pool; this module
+fans a sweep out across hosts while keeping the executor contract — and the
+results — identical to a serial run.
+
+Three pieces:
+
+* :class:`Broker` — owns one batch of spec payloads and serves them to
+  pull-based workers over newline-delimited JSON on TCP.  Work assignment is
+  lease-based: every task carries a deadline that the executing worker's
+  heartbeats extend; an expired lease or a dropped connection requeues the
+  task with the offending worker excluded, and a spec that exhausts its
+  attempts is reported as failed instead of wedging the sweep.
+* ``repro worker --connect host:port`` (:func:`run_worker`) — the process any
+  host runs to pull spec payloads and push ``SimResult`` dicts back.  It
+  executes specs through exactly the serialization path the process-pool
+  executor and the result cache use (:func:`~repro.runner.executor._execute_payload`),
+  so determinism via the sha256-derived RNG streams makes distributed results
+  bit-identical to serial ones.
+* :class:`DistributedExecutor` — implements the ``run_iter``-in-completion-
+  order executor contract, so ``Runner``, the result cache, ``SpecProgress``
+  streaming, and ``--progress`` compose unchanged.  With ``workers=N`` it
+  spins a :class:`LocalCluster` of N localhost worker subprocesses per sweep;
+  with ``workers=0`` it binds ``(host, port)`` and waits for external
+  ``repro worker`` processes to join.
+
+Wire protocol (one TCP connection per worker, one JSON object per line)::
+
+    worker -> {"type": "hello", "worker": "<id>"}
+    broker -> {"type": "welcome", "lease_seconds": <s>}
+    worker -> {"type": "next"}
+    broker -> {"type": "task", "task": <n>, "payload": {<RunSpec dict>}}
+            | {"type": "idle", "delay": <s>}       (nothing assignable yet)
+            | {"type": "drain"}                    (sweep finished; exit)
+    worker -> {"type": "heartbeat", "task": <n>}   (no reply; extends lease)
+    worker -> {"type": "result", "task": <n>, "result": {<SimResult dict>}}
+    worker -> {"type": "error", "task": <n>, "error": "<reason>"}
+
+``result``/``error`` get no reply; the worker immediately sends the next
+``next``.  Late results from a worker whose lease already expired are still
+accepted (first result wins — they are deterministic), so a slow-but-alive
+worker never wastes its work.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+import uuid
+from pathlib import Path
+from queue import Empty, Queue
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.machine.results import SimResult
+from repro.runner.executor import (
+    _ExecutorBase,
+    _execute_payload,
+    describe_error,
+    failures_error,
+)
+from repro.runner.spec import RunSpec
+
+#: Default lease duration; heartbeats every ``lease/3`` keep long specs alive.
+DEFAULT_LEASE_SECONDS = 30.0
+#: Default per-spec assignment budget (first attempt plus two retries).
+DEFAULT_MAX_ATTEMPTS = 3
+#: Environment variable carrying a worker fault-injection mode (tests/drills).
+FAULT_ENV = "REPRO_WORKER_FAULT"
+#: Recognized fault-injection modes for ``repro worker --fault``.
+WORKER_FAULTS = ("exit-on-task", "error-on-task")
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """Parse ``host:port`` (empty host means localhost) into a tuple."""
+    host, separator, port = text.rpartition(":")
+    if not separator or not port.isdigit():
+        raise ConfigurationError(f"expected HOST:PORT, got {text!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def connect_host(bind_host: str) -> str:
+    """A host workers on *this* machine can dial for the given bind host.
+
+    A wildcard bind (``0.0.0.0`` / ``::``) is a listening address, not a
+    reachable one — local workers must dial loopback instead.
+    """
+    return "127.0.0.1" if bind_host in ("", "0.0.0.0", "::") else bind_host
+
+
+# ---------------------------------------------------------------------------
+# Wire helpers
+# ---------------------------------------------------------------------------
+def _send(sock: socket.socket, lock: threading.Lock, message: Dict[str, Any]) -> None:
+    data = (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+    with lock:
+        sock.sendall(data)
+
+
+def _read(reader: Any) -> Optional[Dict[str, Any]]:
+    """One JSON message, or None when the peer closed the connection."""
+    line = reader.readline()
+    if not line:
+        return None
+    return json.loads(line)
+
+
+# ---------------------------------------------------------------------------
+# Broker
+# ---------------------------------------------------------------------------
+_READY, _LEASED, _DONE, _FAILED = "ready", "leased", "done", "failed"
+
+
+class _Task:
+    __slots__ = ("position", "payload", "state", "attempts", "excluded",
+                 "worker", "deadline", "errors")
+
+    def __init__(self, position: int, payload: Dict[str, Any]) -> None:
+        self.position = position
+        self.payload = payload
+        self.state = _READY
+        self.attempts = 0
+        self.excluded: set = set()
+        self.worker: Optional[str] = None
+        self.deadline = 0.0
+        self.errors: List[str] = []
+
+
+class Broker:
+    """Serve one batch of spec payloads to pull-based workers over TCP.
+
+    Thread layout: one acceptor, one connection handler per worker, one lease
+    monitor.  All task-state transitions happen under ``_lock``; completion
+    and terminal-failure events flow through ``_events`` to
+    :meth:`events`, which the executor consumes on the sweep host.
+    """
+
+    def __init__(
+        self,
+        payloads: Sequence[Dict[str, Any]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ConfigurationError("lease_seconds must be positive")
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        self._bind = (host, port)
+        self.host = host
+        self.port = port
+        self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
+        self._tasks = [_Task(i, payload) for i, payload in enumerate(payloads)]
+        self._ready: Deque[int] = collections.deque(range(len(self._tasks)))
+        self._outstanding = len(self._tasks)
+        self._lock = threading.Lock()
+        self._events: "Queue[Tuple[str, int, Any]]" = Queue()
+        self._closed = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._connections: List[socket.socket] = []
+        self._threads: List[threading.Thread] = []
+        self._workers: set = set()
+        self.stats = {
+            "assigned": 0, "completed": 0, "failed": 0, "requeued": 0,
+            "expired": 0, "disconnects": 0, "duplicates": 0,
+        }
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> "Broker":
+        try:
+            self._listener = socket.create_server(self._bind)
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot bind broker to {self._bind[0]}:{self._bind[1]}: {error}"
+            )
+        self.host, self.port = self._listener.getsockname()[:2]
+        for target in (self._accept_loop, self._monitor_loop):
+            thread = threading.Thread(target=target, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def close(self) -> None:
+        self._closed.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            # shutdown(), not just close(): the handler thread's makefile()
+            # reader holds an io-ref, so close() alone defers the real FD
+            # close and the connection would silently stay alive.
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "Broker":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- queries
+    def outstanding(self) -> int:
+        """Tasks not yet terminal (neither done nor failed)."""
+        with self._lock:
+            return self._outstanding
+
+    def worker_count(self) -> int:
+        """Workers currently connected (hello received, not disconnected)."""
+        with self._lock:
+            return len(self._workers)
+
+    def abort(self, reason: str) -> None:
+        """Terminally fail every non-finished task (unblocks :meth:`events`)."""
+        with self._lock:
+            for task in self._tasks:
+                if task.state in (_DONE, _FAILED):
+                    continue
+                if task.state == _READY:
+                    try:
+                        self._ready.remove(task.position)
+                    except ValueError:
+                        pass
+                task.errors.append(reason)
+                self._finish_locked(task, _FAILED)
+
+    def events(
+        self,
+        poll: Optional[Callable[[], None]] = None,
+        poll_interval: float = 0.5,
+    ) -> Iterator[Tuple[str, int, Any]]:
+        """Yield ``("result"|"failed", position, payload)`` until all terminal.
+
+        ``payload`` is the parsed :class:`SimResult` for ``"result"`` events
+        and the joined failure reasons (a string) for ``"failed"`` ones.
+        ``poll`` runs whenever no event arrived for ``poll_interval`` seconds
+        — the executor's liveness watchdog hook.
+        """
+        pending = len(self._tasks)
+        while pending:
+            try:
+                event = self._events.get(timeout=poll_interval)
+            except Empty:
+                if poll is not None:
+                    poll()
+                continue
+            pending -= 1
+            yield event
+
+    # ----------------------------------------------------- connection side
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closed.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break  # listener closed
+            with self._lock:
+                self._connections.append(conn)
+            thread = threading.Thread(target=self._serve, args=(conn,), daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve(self, conn: socket.socket) -> None:
+        # Live peers are chatty (idle workers poll every ~50 ms, leased ones
+        # heartbeat every lease/3), so a generous read timeout only ever
+        # fires for a half-open connection whose host dropped without a
+        # FIN/RST — which would otherwise stay in _workers forever, blocking
+        # the exclusion fallback and wedging the sweep.
+        conn.settimeout(max(self.lease_seconds * 2.0, 10.0))
+        write_lock = threading.Lock()
+        worker = f"anon-{uuid.uuid4().hex[:8]}"
+        reader = conn.makefile("r", encoding="utf-8")
+        try:
+            while True:
+                try:
+                    message = _read(reader)
+                except (OSError, ValueError):
+                    break
+                if message is None:
+                    break
+                try:
+                    kind = message.get("type")
+                    if kind == "hello":
+                        worker = str(message.get("worker") or worker)
+                        with self._lock:
+                            self._workers.add(worker)
+                        _send(conn, write_lock, {
+                            "type": "welcome", "lease_seconds": self.lease_seconds,
+                        })
+                    elif kind == "next":
+                        _send(conn, write_lock, self._assign(worker))
+                    elif kind in ("heartbeat", "result", "error"):
+                        task_id = int(message["task"])
+                        if not 0 <= task_id < len(self._tasks):
+                            continue  # corrupt or foreign task id; ignore
+                        if kind == "heartbeat":
+                            self._extend_lease(task_id, worker)
+                        elif kind == "result":
+                            self._complete(task_id, worker, message["result"])
+                        else:
+                            self._report_error(
+                                task_id, worker, str(message.get("error"))
+                            )
+                except (AttributeError, KeyError, TypeError, ValueError):
+                    # Structurally invalid message (JSON array, missing/odd
+                    # fields): drop the line, keep the worker's connection —
+                    # killing the handler would cost it a lease and an
+                    # exclusion for one corrupt line.
+                    continue
+        except OSError:
+            pass
+        finally:
+            self._disconnect(worker, conn)
+
+    # ------------------------------------------------------ state machine
+    def _assign(self, worker: str) -> Dict[str, Any]:
+        with self._lock:
+            chosen: Optional[int] = None
+            for task_id in self._ready:
+                if worker not in self._tasks[task_id].excluded:
+                    chosen = task_id
+                    break
+            if chosen is None:
+                # Exclusion is best-effort: a task that excludes every
+                # currently connected worker has nobody left to serve it and
+                # would wedge the sweep — retrying beats deadlocking.
+                for task_id in self._ready:
+                    if self._workers <= self._tasks[task_id].excluded:
+                        chosen = task_id
+                        break
+            if chosen is not None:
+                self._ready.remove(chosen)
+                task = self._tasks[chosen]
+                task.state = _LEASED
+                task.worker = worker
+                task.attempts += 1
+                task.deadline = time.monotonic() + self.lease_seconds
+                self.stats["assigned"] += 1
+                return {"type": "task", "task": chosen, "payload": task.payload}
+            if self._outstanding == 0:
+                return {"type": "drain"}
+            return {"type": "idle", "delay": 0.05}
+
+    def _extend_lease(self, task_id: int, worker: str) -> None:
+        with self._lock:
+            task = self._tasks[task_id]
+            if task.state == _LEASED and task.worker == worker:
+                task.deadline = time.monotonic() + self.lease_seconds
+
+    def _complete(self, task_id: int, worker: str, result: Dict[str, Any]) -> None:
+        # Parse the payload into a SimResult *before* the task goes terminal:
+        # a wrong-shape dict from a version-skewed worker must requeue the
+        # spec like any worker error, not crash the sweep host's event loop.
+        try:
+            parsed = SimResult.from_dict(result)
+        except Exception as error:  # noqa: BLE001 - arbitrary payloads
+            self._report_error(
+                task_id, worker,
+                f"worker returned an invalid result payload: "
+                f"{describe_error(error)}",
+            )
+            return
+        with self._lock:
+            task = self._tasks[task_id]
+            if task.state in (_DONE, _FAILED):
+                self.stats["duplicates"] += 1  # late result after reassignment
+                return
+            if task.state == _READY:
+                # Expired lease, but the original worker finished after all.
+                self._ready.remove(task_id)
+            self._finish_locked(task, _DONE, parsed)
+
+    def _report_error(self, task_id: int, worker: str, reason: str) -> None:
+        with self._lock:
+            task = self._tasks[task_id]
+            if task.state != _LEASED or task.worker != worker:
+                return  # stale report from a lease that already expired
+            # Exclude the reporter so the retry prefers a different worker: a
+            # host with a broken environment errors instantly and would
+            # otherwise re-poll and burn the spec's whole attempt budget in
+            # milliseconds.  Exclusion is best-effort (see _assign), so on a
+            # single-worker fleet the retry still lands on the same worker.
+            self._requeue_or_fail_locked(task, reason, exclude=True)
+
+    def _disconnect(self, worker: str, conn: socket.socket) -> None:
+        with self._lock:
+            self._workers.discard(worker)
+            try:
+                self._connections.remove(conn)
+            except ValueError:
+                pass
+            leased = [
+                task for task in self._tasks
+                if task.state == _LEASED and task.worker == worker
+            ]
+            for task in leased:
+                self.stats["disconnects"] += 1
+                self._requeue_or_fail_locked(
+                    task, f"worker {worker} disconnected mid-spec", exclude=True
+                )
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def _monitor_loop(self) -> None:
+        interval = min(0.5, self.lease_seconds / 4.0)
+        while not self._closed.wait(interval):
+            now = time.monotonic()
+            with self._lock:
+                for task in self._tasks:
+                    if task.state == _LEASED and task.deadline < now:
+                        self.stats["expired"] += 1
+                        self._requeue_or_fail_locked(
+                            task,
+                            f"lease expired on worker {task.worker} "
+                            f"(no heartbeat for {self.lease_seconds}s)",
+                            exclude=True,
+                        )
+
+    def _requeue_or_fail_locked(
+        self, task: _Task, reason: str, exclude: bool
+    ) -> None:
+        task.errors.append(reason)
+        if exclude and task.worker is not None:
+            task.excluded.add(task.worker)
+        if task.attempts >= self.max_attempts:
+            self._finish_locked(task, _FAILED)
+        else:
+            task.state = _READY
+            task.worker = None
+            self._ready.append(task.position)
+            self.stats["requeued"] += 1
+
+    def _finish_locked(
+        self, task: _Task, state: str, result: Optional[SimResult] = None
+    ) -> None:
+        task.state = state
+        task.worker = None
+        self._outstanding -= 1
+        if state == _DONE:
+            self.stats["completed"] += 1
+            self._events.put(("result", task.position, result))
+        else:
+            self.stats["failed"] += 1
+            self._events.put(("failed", task.position, "; ".join(task.errors)))
+
+
+# ---------------------------------------------------------------------------
+# Worker
+# ---------------------------------------------------------------------------
+def worker_id() -> str:
+    """A globally unique worker name: host, pid, and a random suffix."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+def _connect(host: str, port: int, timeout: float = 10.0) -> socket.socket:
+    """Dial the broker, retrying while it (or the network) comes up."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=30.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.1)
+
+
+def _heartbeat_loop(
+    sock: socket.socket,
+    write_lock: threading.Lock,
+    task_id: int,
+    interval: float,
+    stop: threading.Event,
+) -> None:
+    while not stop.wait(interval):
+        try:
+            _send(sock, write_lock, {"type": "heartbeat", "task": task_id})
+        except OSError:
+            return  # broker went away; the main loop will notice
+
+
+def run_worker(
+    host: str,
+    port: int,
+    heartbeat: Optional[float] = None,
+    max_tasks: Optional[int] = None,
+    fault: Optional[str] = None,
+) -> int:
+    """Pull specs from the broker at ``(host, port)`` until it drains.
+
+    Returns the number of specs completed.  ``fault`` (or the
+    :data:`FAULT_ENV` environment variable) injects worker-level failures for
+    tests and chaos drills: ``exit-on-task`` kills the process the moment a
+    task is assigned (a crash holding a lease), ``error-on-task`` reports
+    every task as failed without running it.
+    """
+    fault = fault or os.environ.get(FAULT_ENV) or None
+    if fault is not None and fault not in WORKER_FAULTS:
+        raise ConfigurationError(
+            f"unknown worker fault {fault!r}; choices: {list(WORKER_FAULTS)}"
+        )
+    if heartbeat is not None and heartbeat <= 0:
+        raise ConfigurationError("heartbeat interval must be positive seconds")
+    sock = _connect(host, port)
+    write_lock = threading.Lock()
+    reader = sock.makefile("r", encoding="utf-8")
+    try:
+        _send(sock, write_lock, {"type": "hello", "worker": worker_id()})
+        welcome = _read(reader)
+    except (OSError, ValueError) as error:
+        # ValueError: the peer spoke, but not JSON — probably not a broker.
+        sock.close()
+        raise ExecutionError(
+            f"broker at {host}:{port} did not complete the JSON handshake: "
+            f"{describe_error(error)}"
+        )
+    try:
+        if welcome is None or welcome["type"] != "welcome":
+            raise KeyError("welcome")
+        lease = float(welcome.get("lease_seconds") or DEFAULT_LEASE_SECONDS)
+    except (KeyError, TypeError, ValueError):
+        sock.close()
+        raise ExecutionError(
+            f"broker at {host}:{port} rejected the handshake "
+            f"(reply {welcome!r})"
+        )
+    interval = heartbeat if heartbeat is not None else max(0.05, lease / 3.0)
+    completed = 0
+    try:
+        while True:
+            try:
+                _send(sock, write_lock, {"type": "next"})
+                reply = _read(reader)
+            except OSError:
+                # Broker gone while we hold no task: from this side that is
+                # indistinguishable from a drain (the sweep host closes its
+                # socket right after the last result), and nothing is lost.
+                break
+            except ValueError as error:
+                raise ExecutionError(
+                    f"protocol error from broker at {host}:{port}: "
+                    f"{describe_error(error)}"
+                )
+            try:
+                reply_type = reply["type"] if reply is not None else "drain"
+                if reply_type == "drain":
+                    break
+                if reply_type == "idle":
+                    time.sleep(float(reply.get("delay", 0.1)))
+                    continue
+                if reply_type != "task":
+                    raise KeyError(reply_type)
+                task_id = int(reply["task"])
+                spec_payload = reply["payload"]
+            except (KeyError, TypeError, ValueError) as error:
+                # Valid JSON, wrong shape: a version-skewed broker or some
+                # other JSON-lines service entirely.
+                raise ExecutionError(
+                    f"protocol error from broker at {host}:{port}: "
+                    f"unexpected reply {reply!r} ({describe_error(error)})"
+                )
+            if fault == "exit-on-task":
+                os._exit(3)  # simulate a hard crash while holding the lease
+            stop = threading.Event()
+            beat = threading.Thread(
+                target=_heartbeat_loop,
+                args=(sock, write_lock, task_id, interval, stop),
+                daemon=True,
+            )
+            beat.start()
+            try:
+                if fault == "error-on-task":
+                    raise ExecutionError("injected worker fault (error-on-task)")
+                report: Dict[str, Any] = {
+                    "type": "result", "task": task_id,
+                    "result": _execute_payload(spec_payload),
+                }
+            except Exception as error:  # noqa: BLE001 - reported to the broker
+                report = {
+                    "type": "error", "task": task_id,
+                    "error": describe_error(error),
+                }
+            finally:
+                stop.set()
+                beat.join()
+            try:
+                _send(sock, write_lock, report)
+            except OSError as error:
+                # Losing the broker *while holding a task* is abnormal: the
+                # completed work is lost and a supervisor should know.  A
+                # straggler whose task was meanwhile completed elsewhere and
+                # whose sweep already drained hits this too — the worker
+                # cannot tell the two apart, and under-reporting lost work
+                # is the worse failure mode, so it exits nonzero either way.
+                raise ExecutionError(
+                    f"connection to broker lost while reporting task "
+                    f"{task_id}: {describe_error(error)}"
+                )
+            if report["type"] == "result":
+                completed += 1
+            if max_tasks is not None and completed >= max_tasks:
+                break
+    finally:
+        sock.close()
+    return completed
+
+
+# ---------------------------------------------------------------------------
+# Local cluster harness
+# ---------------------------------------------------------------------------
+class LocalCluster:
+    """Broker-facing fleet of ``repro worker`` subprocesses on this host.
+
+    The test/CI harness for the real wire path: each worker is a genuine
+    ``python -m repro worker --connect`` process, so everything — handshake,
+    leases, heartbeats, retry, drain — is exercised over actual sockets.
+    ``faults`` injects a per-worker :data:`FAULT_ENV` mode (None = healthy).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        workers: int,
+        faults: Optional[Sequence[Optional[str]]] = None,
+        heartbeat: Optional[float] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("LocalCluster needs at least one worker")
+        env = os.environ.copy()
+        src = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+        )
+        command = [sys.executable, "-m", "repro", "worker",
+                   "--connect", f"{host}:{port}"]
+        if heartbeat is not None:
+            command += ["--heartbeat", str(heartbeat)]
+        self.procs: List[subprocess.Popen] = []
+        for index in range(workers):
+            worker_env = dict(env)
+            fault = faults[index] if faults and index < len(faults) else None
+            if fault:
+                worker_env[FAULT_ENV] = fault
+            self.procs.append(
+                subprocess.Popen(command, env=worker_env,
+                                 stdout=subprocess.DEVNULL)
+            )
+
+    def alive_count(self) -> int:
+        return sum(1 for proc in self.procs if proc.poll() is None)
+
+    def kill(self, index: int) -> None:
+        """SIGKILL one worker (fault drills)."""
+        self.procs[index].kill()
+        self.procs[index].wait()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Wait briefly for workers to drain, then terminate stragglers."""
+        deadline = time.monotonic() + timeout
+        for proc in self.procs:
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+                except subprocess.TimeoutExpired:
+                    proc.terminate()
+                    try:
+                        proc.wait(timeout=2.0)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+def _announce_default(host: str, port: int) -> None:
+    # A wildcard bind address is not dialable: tell remote operators to use
+    # this machine's name instead of a copy-pasteable-but-wrong 0.0.0.0.
+    reach = socket.gethostname() if host in ("", "0.0.0.0", "::") else host
+    print(
+        f"broker listening on {host}:{port}; join workers with: "
+        f"python -m repro worker --connect {reach}:{port}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+class DistributedExecutor(_ExecutorBase):
+    """Run specs through a TCP broker feeding pull-based ``repro worker``s.
+
+    Implements the ``run_iter`` completion-order contract, so it drops into
+    ``Runner`` (cache, ``SpecProgress`` streaming, ``--progress``) exactly
+    like the serial and process-pool executors.  Per-spec failures are
+    retried up to ``max_attempts`` assignments with the crashed/timed-out
+    worker excluded; specs that still fail surface as one
+    :class:`~repro.errors.ExecutionError` *after* every successful result has
+    been yielded.  ``last_stats`` holds the final broker counters of the most
+    recent sweep (assigned/completed/failed/requeued/expired/...).
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        heartbeat: Optional[float] = None,
+        faults: Optional[Sequence[Optional[str]]] = None,
+        announce: Optional[Callable[[str, int], None]] = None,
+        external: Optional[bool] = None,
+    ) -> None:
+        if workers < 0:
+            raise ConfigurationError("workers must be >= 0 (0 = external workers)")
+        if heartbeat is not None and heartbeat <= 0:
+            raise ConfigurationError("heartbeat interval must be positive seconds")
+        self.workers = workers
+        self.host = host
+        self.port = port
+        #: Whether external workers are expected to join: announce the broker
+        #: address and never abort on a dead local cluster.  Defaults to
+        #: "no local workers, or a non-ephemeral port was requested"; pass
+        #: explicitly for an ephemeral --bind (HOST:0) with local workers.
+        self.external = external if external is not None else (
+            workers == 0 or port != 0
+        )
+        self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
+        self.heartbeat = heartbeat
+        self.faults = faults
+        self.announce = announce
+        self.last_stats: Optional[Dict[str, int]] = None
+
+    def run_iter(
+        self, specs: Sequence[RunSpec]
+    ) -> Iterator[Tuple[int, SimResult]]:
+        if not specs:
+            return
+        payloads = [spec.to_dict() for spec in specs]
+        broker = Broker(
+            payloads,
+            host=self.host,
+            port=self.port,
+            lease_seconds=self.lease_seconds,
+            max_attempts=self.max_attempts,
+        ).start()
+        cluster: Optional[LocalCluster] = None
+        failures: List[Tuple[RunSpec, str]] = []
+        try:
+            if self.workers:
+                cluster = LocalCluster(
+                    connect_host(broker.host), broker.port, self.workers,
+                    faults=self.faults, heartbeat=self.heartbeat,
+                )
+            if self.external:
+                # External workers are expected: tell them where to join.
+                (self.announce or _announce_default)(broker.host, broker.port)
+
+            def watchdog() -> None:
+                # Abort only in pure-local mode (owned cluster, no external
+                # joiners expected): there, dead local workers mean nobody
+                # can ever serve the sweep.  With external workers expected —
+                # present, or still to come — the sweep must keep waiting.
+                if (
+                    cluster is not None
+                    and not self.external
+                    and cluster.alive_count() == 0
+                    and broker.worker_count() == 0
+                ):
+                    broker.abort(
+                        "every local worker process has exited "
+                        "and no external workers are connected"
+                    )
+
+            for kind, position, payload in broker.events(poll=watchdog):
+                if kind == "result":
+                    yield position, payload
+                else:
+                    failures.append((specs[position], payload))
+        finally:
+            if cluster is not None:
+                cluster.close()
+            broker.close()
+            self.last_stats = dict(broker.stats)
+        if failures:
+            raise failures_error(failures, len(specs))

@@ -16,6 +16,7 @@ import concurrent.futures
 import os
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.errors import ExecutionError, WorkloadError
 from repro.machine.results import SimResult
 from repro.runner.spec import RunSpec
 
@@ -93,6 +94,54 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     return execute_spec(spec).to_dict()
 
 
+def describe_error(error: BaseException) -> str:
+    """One-line rendering of a per-spec execution failure."""
+    return f"{type(error).__name__}: {error}"
+
+
+def failures_error(
+    failures: Sequence[Tuple[RunSpec, str]], total: int
+) -> ExecutionError:
+    """Build the :class:`ExecutionError` summarizing a sweep's failed points."""
+    shown = "; ".join(f"[{spec.label()}] {reason}" for spec, reason in failures[:3])
+    if len(failures) > 3:
+        shown += f"; ... and {len(failures) - 3} more"
+    return ExecutionError(
+        f"{len(failures)} of {total} grid points failed after retries: {shown}",
+        failures=failures,
+    )
+
+
+def validated_positions(
+    pairs: Iterator[Tuple[int, SimResult]], specs: Sequence[RunSpec]
+) -> Iterator[Tuple[int, SimResult]]:
+    """Re-yield executor ``(position, result)`` pairs, rejecting bad positions.
+
+    An out-of-range, duplicate, or result-less position means a broken
+    executor; silently dropping or collapsing such rows used to mask the bug
+    downstream, so every consumer of ``run_iter`` routes through this check.
+    """
+    seen: set = set()
+    for position, result in pairs:
+        if not 0 <= position < len(specs):
+            raise WorkloadError(
+                f"executor yielded position {position}, outside the sweep's "
+                f"{len(specs)} specs"
+            )
+        if position in seen:
+            raise WorkloadError(
+                f"executor yielded position {position} "
+                f"({specs[position].label()}) more than once"
+            )
+        if result is None:
+            raise WorkloadError(
+                f"executor yielded no result (None) for position {position} "
+                f"({specs[position].label()})"
+            )
+        seen.add(position)
+        yield position, result
+
+
 class _ExecutorBase:
     """Shared batch driver: ``run`` collects ``run_iter`` back into spec order.
 
@@ -110,11 +159,17 @@ class _ExecutorBase:
         self, specs: Sequence[RunSpec], progress: Optional[ProgressHook] = None
     ) -> List[SimResult]:
         results: List[Optional[SimResult]] = [None] * len(specs)
-        for index, result in self.run_iter(specs):
+        for index, result in validated_positions(self.run_iter(specs), specs):
             results[index] = result
             if progress is not None:
                 progress(index, len(specs), specs[index], result)
-        return [result for result in results if result is not None]
+        missing = [index for index, result in enumerate(results) if result is None]
+        if missing:
+            raise WorkloadError(
+                f"executor yielded no result for position(s) {missing} "
+                f"of {len(specs)} specs"
+            )
+        return results  # fully populated: no position is None past the check
 
 
 class SerialExecutor(_ExecutorBase):
@@ -133,7 +188,21 @@ class ParallelExecutor(_ExecutorBase):
     ``run`` returns results in spec order regardless of completion order, so
     a parallel sweep is a drop-in replacement for a serial one; ``run_iter``
     streams ``(position, result)`` pairs as workers finish.
+
+    A failing grid point no longer aborts the sweep: failures are captured
+    and retried, and only after every successful result has been yielded does
+    the executor raise an :class:`~repro.errors.ExecutionError` naming the
+    specs that still failed.  A spec that *crashes* its worker process breaks
+    the whole pool, taking innocent in-flight specs down with it — so
+    failures first get one shared fresh-pool retry (cheap, parallel, and
+    enough for all the collateral victims), and anything that fails again
+    gets a final attempt in its own single-spec pool, where a crasher can
+    only break itself.
     """
+
+    #: Per-spec execution attempts on both paths: the initial run, the
+    #: shared-pool retry, and the isolated last attempt.
+    MAX_ATTEMPTS = 3
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         if max_workers is not None and max_workers < 1:
@@ -143,16 +212,77 @@ class ParallelExecutor(_ExecutorBase):
     def run_iter(
         self, specs: Sequence[RunSpec]
     ) -> Iterator[Tuple[int, SimResult]]:
+        if not specs:
+            return
         if len(specs) <= 1 or self.max_workers == 1:
-            yield from SerialExecutor().run_iter(specs)
+            yield from self._run_iter_inline(specs)
             return
         payloads = [spec.to_dict() for spec in specs]
+        first_failed: Dict[int, str] = {}
+        yield from self._pool_round(
+            payloads, range(len(specs)), self.max_workers, first_failed
+        )
+        # Shared-pool retry: one crasher fails every in-flight spec with
+        # BrokenProcessPool, so most "failures" are collateral — re-running
+        # them together in a fresh pool keeps the retry parallel.
+        retry_failed: Dict[int, str] = {}
+        if first_failed:
+            yield from self._pool_round(
+                payloads, sorted(first_failed), self.max_workers, retry_failed
+            )
+        # Isolated last attempt: whatever failed twice runs alone in a
+        # single-spec pool, where a pool-crashing spec can only break itself.
+        failures: List[Tuple[RunSpec, str]] = []
+        for position in sorted(retry_failed):
+            last_failed: Dict[int, str] = {}
+            yield from self._pool_round(payloads, [position], 1, last_failed)
+            if last_failed:
+                failures.append((specs[position], last_failed[position]))
+        if failures:
+            raise failures_error(failures, len(specs))
+
+    def _pool_round(
+        self,
+        payloads: Sequence[Dict[str, Any]],
+        positions: Any,
+        max_workers: int,
+        failed: Dict[int, str],
+    ) -> Iterator[Tuple[int, SimResult]]:
+        """One fresh-pool pass over ``positions``; failures land in ``failed``."""
+        positions = list(positions)
         with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(self.max_workers, len(specs))
+            max_workers=min(max_workers, len(positions))
         ) as pool:
             futures = {
-                pool.submit(_execute_payload, payload): index
-                for index, payload in enumerate(payloads)
+                pool.submit(_execute_payload, payloads[position]): position
+                for position in positions
             }
             for future in concurrent.futures.as_completed(futures):
-                yield futures[future], SimResult.from_dict(future.result())
+                position = futures[future]
+                try:
+                    payload = future.result()
+                except Exception as error:  # noqa: BLE001 - captured per spec
+                    failed[position] = describe_error(error)
+                    continue
+                yield position, SimResult.from_dict(payload)
+
+    def _run_iter_inline(
+        self, specs: Sequence[RunSpec]
+    ) -> Iterator[Tuple[int, SimResult]]:
+        """In-process path for trivial batches, with the same retry semantics."""
+        failures: List[Tuple[RunSpec, str]] = []
+        for index, spec in enumerate(specs):
+            last_error: Optional[str] = None
+            for _ in range(self.MAX_ATTEMPTS):
+                try:
+                    result = execute_spec(spec)
+                except Exception as error:  # noqa: BLE001 - captured per spec
+                    last_error = describe_error(error)
+                    continue
+                yield index, result
+                last_error = None
+                break
+            if last_error is not None:
+                failures.append((spec, last_error))
+        if failures:
+            raise failures_error(failures, len(specs))

@@ -29,7 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis -> runner)
 from repro.errors import WorkloadError
 from repro.machine.results import SimResult
 from repro.runner.cache import ResultCache
-from repro.runner.executor import SerialExecutor
+from repro.runner.executor import SerialExecutor, validated_positions
 from repro.runner.spec import RunSpec, SweepSpec
 
 
@@ -170,19 +170,21 @@ class Runner:
                 index += 1
             else:
                 missing.append(spec)
+        simulated = 0
         for position, result in self._execute_iter(missing):
             spec = missing[position]
             results[spec] = result
             provenance[spec] = False
+            simulated += 1
             if self.cache is not None:
                 self.cache.put(spec, result)
             yield SpecProgress(index, total, spec, result, cached=False)
             index += 1
-        if len(results) != total:
-            # run_iter-style executors that yield too few (or repeat) positions.
+        if simulated != len(missing):
+            # run_iter-style executors that yield too few positions
+            # (duplicates and out-of-range are caught in _execute_iter).
             raise WorkloadError(
-                f"executor produced {len(results) - (total - len(missing))} "
-                f"results for {len(missing)} specs"
+                f"executor produced {simulated} results for {len(missing)} specs"
             )
         return SweepResult(
             sweep=sweep,
@@ -200,7 +202,7 @@ class Runner:
             return
         run_iter = getattr(self.executor, "run_iter", None)
         if run_iter is not None:
-            yield from run_iter(missing)
+            yield from validated_positions(run_iter(missing), missing)
         else:
             # Executors predating run_iter (user-supplied): one batched call.
             fresh = self.executor.run(missing)

@@ -23,6 +23,7 @@ from repro.workloads.contention_suite import (
     scenario_info,
     scenario_names,
 )
+from repro.workloads.faults import build_fault_probe
 from repro.workloads.livermore import LivermoreLoop, build_livermore_loop
 from repro.workloads.synthetic_apps import (
     APPLICATION_PROFILES,
@@ -55,4 +56,5 @@ __all__ = [
     "build_work_steal",
     "build_barrier_storm",
     "build_mixed_phases",
+    "build_fault_probe",
 ]

@@ -7,7 +7,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.errors import ConfigurationError, WorkloadError
+from repro.errors import ConfigurationError, ExecutionError, WorkloadError
 from repro.experiments.fig9_cas import fig9_sweep
 from repro.machine.configs import wisync
 from repro.machine.manycore import Manycore
@@ -40,8 +40,8 @@ def tightloop_spec(**overrides):
 class TestRegistry:
     def test_paper_workloads_registered(self):
         assert workload_names() == [
-            "application", "barrier_storm", "cas", "livermore", "mixed_phases",
-            "pc_ring", "rwlock", "tightloop", "work_steal",
+            "application", "barrier_storm", "cas", "fault_probe", "livermore",
+            "mixed_phases", "pc_ring", "rwlock", "tightloop", "work_steal",
         ]
 
     def test_name_round_trips_to_builder(self):
@@ -181,6 +181,135 @@ class TestExecutors:
             )
 
 
+def fault_spec(**params):
+    return RunSpec(workload="fault_probe", params=params, config="WiSync", num_cores=4)
+
+
+class TestExecutorFaults:
+    """Fault injection: failing grid points must not abort or corrupt a sweep."""
+
+    def test_parallel_yields_successes_then_raises_structured_error(self):
+        # Regression: one worker exception used to abort the whole sweep and
+        # discard every completed-but-unyielded result.
+        specs = [
+            tightloop_spec(num_cores=4),
+            fault_spec(mode="raise"),
+            tightloop_spec(num_cores=8),
+        ]
+        received = {}
+        with pytest.raises(ExecutionError) as excinfo:
+            for position, result in ParallelExecutor(max_workers=2).run_iter(specs):
+                received[position] = result
+        assert sorted(received) == [0, 2]
+        assert received[0].completed and received[2].completed
+        failures = excinfo.value.failures
+        assert len(failures) == 1
+        assert failures[0][0] == specs[1]
+        assert "fault_probe" in failures[0][1]
+        assert "fault_probe" in str(excinfo.value)
+
+    def test_parallel_retries_flaky_spec_once_and_succeeds(self, tmp_path):
+        marker = str(tmp_path / "flaky-marker")
+        specs = [fault_spec(marker=marker), tightloop_spec(num_cores=8)]
+        results = ParallelExecutor(max_workers=2).run(specs)
+        assert len(results) == 2
+        assert all(result.completed for result in results)
+        assert Path(marker).exists()  # the failing first attempt happened
+
+    def test_pool_crasher_does_not_poison_innocent_specs(self):
+        # A spec that kills its worker process breaks the shared pool, so
+        # innocent in-flight specs fail collaterally (BrokenProcessPool).
+        # The retry round must run each spec in an isolated pool: innocents
+        # recover, and only the crasher lands in ExecutionError.failures.
+        specs = [
+            tightloop_spec(num_cores=4),
+            fault_spec(mode="exit"),
+            tightloop_spec(num_cores=8),
+            tightloop_spec(num_cores=16),
+        ]
+        received = {}
+        with pytest.raises(ExecutionError) as excinfo:
+            for position, result in ParallelExecutor(max_workers=2).run_iter(specs):
+                received[position] = result
+        assert sorted(received) == [0, 2, 3]
+        assert all(result.completed for result in received.values())
+        failures = excinfo.value.failures
+        assert [spec for spec, _ in failures] == [specs[1]]
+
+    def test_inline_path_has_the_same_failure_semantics(self):
+        # max_workers=1 (and single-spec batches) run in-process but must
+        # still capture, retry, and raise ExecutionError — not the raw error.
+        with pytest.raises(ExecutionError, match="1 of 1 grid points"):
+            ParallelExecutor(max_workers=1).run([fault_spec(mode="raise")])
+
+    def test_inline_retry_then_succeed(self, tmp_path):
+        marker = str(tmp_path / "flaky-inline")
+        results = ParallelExecutor(max_workers=1).run([fault_spec(marker=marker)])
+        assert len(results) == 1 and results[0].completed
+
+    def test_inline_and_pool_paths_share_the_attempt_budget(self, tmp_path):
+        # A spec failing twice and succeeding on the third attempt completes
+        # on both paths — the inline path is not allowed fewer attempts
+        # (initial + shared retry + isolated retry) than the pool path.
+        inline_marker = str(tmp_path / "inline-twice")
+        results = ParallelExecutor(max_workers=1).run(
+            [fault_spec(marker=inline_marker, fail_count=2)]
+        )
+        assert results[0].completed
+        pool_marker = str(tmp_path / "pool-twice")
+        results = ParallelExecutor(max_workers=2).run(
+            [fault_spec(marker=pool_marker, fail_count=2), tightloop_spec(num_cores=8)]
+        )
+        assert all(result.completed for result in results)
+
+    def test_run_rejects_duplicate_positions(self):
+        # Regression: duplicate positions were silently collapsed by the
+        # None-filter in _ExecutorBase.run, masking a broken executor.
+        class Duplicating(SerialExecutor):
+            def run_iter(self, specs):
+                result = execute_spec(specs[0])
+                yield 0, result
+                yield 0, result
+
+        with pytest.raises(WorkloadError, match="more than once"):
+            Duplicating().run([tightloop_spec(), tightloop_spec(num_cores=4)])
+
+    def test_run_rejects_missing_positions(self):
+        class Short(SerialExecutor):
+            def run_iter(self, specs):
+                yield 0, execute_spec(specs[0])
+
+        with pytest.raises(WorkloadError, match=r"no result for position\(s\) \[1\]"):
+            Short().run([tightloop_spec(), tightloop_spec(num_cores=4)])
+
+    def test_run_rejects_none_results(self):
+        # A (position, None) pair used to slip past position validation and
+        # then vanish in a None-filter, silently shortening the result list.
+        class Noneish(SerialExecutor):
+            def run_iter(self, specs):
+                yield 0, None
+
+        with pytest.raises(WorkloadError, match=r"no result \(None\)"):
+            Noneish().run([tightloop_spec()])
+
+    def test_run_rejects_out_of_range_positions(self):
+        class Negative(SerialExecutor):
+            def run_iter(self, specs):
+                yield -1, execute_spec(specs[0])
+
+        with pytest.raises(WorkloadError, match="outside"):
+            Negative().run([tightloop_spec()])
+
+    def test_fault_probe_modes(self):
+        machine = Manycore(wisync(num_cores=4))
+        with pytest.raises(WorkloadError, match="injected failure"):
+            REGISTRY.build(machine, "fault_probe", {"mode": "raise"})
+        with pytest.raises(WorkloadError, match="unknown mode"):
+            REGISTRY.build(Manycore(wisync(num_cores=4)), "fault_probe", {"mode": "?"})
+        result = execute_spec(fault_spec())
+        assert result.completed
+
+
 class TestSimResultSerialization:
     def test_round_trip_preserves_metrics(self):
         from repro.machine.results import SimResult
@@ -244,6 +373,54 @@ class TestCacheAndRunner:
         assert cache.prune() == 2
         assert len(cache) == 1
         assert cache.get(live) is not None
+
+    def test_prune_sweeps_orphaned_tmp_files(self, tmp_path):
+        # Regression: a writer dying between mkstemp and os.replace leaked
+        # *.tmp files forever; with distributed multi-host writers sharing
+        # the directory that leak is recurring, not theoretical.
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        live = tightloop_spec()
+        cache.put(live, execute_spec(live))
+        orphan = tmp_path / "tmpdead123.tmp"
+        orphan.write_text("{")
+        ancient = time.time() - 7200
+        os.utime(orphan, (ancient, ancient))
+        in_flight = tmp_path / "tmplive456.tmp"
+        in_flight.write_text("{")
+        assert cache.prune() == 1
+        assert not orphan.exists()
+        assert in_flight.exists()  # young enough to belong to a live writer
+        assert cache.get(live) is not None
+
+    def test_put_tolerates_concurrent_clear_of_its_temp_file(self, tmp_path, monkeypatch):
+        # Regression: clear() on another host sweeping an in-flight *.tmp
+        # made the writer's os.replace raise FileNotFoundError, aborting a
+        # sweep whose result was already simulated.
+        import os as os_module
+
+        cache = ResultCache(tmp_path)
+        spec = tightloop_spec()
+        result = execute_spec(spec)
+        real_replace = os_module.replace
+
+        def racing_replace(src, dst):
+            os_module.unlink(src)  # the concurrent clear() wins the race
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.runner.cache.os.replace", racing_replace)
+        cache.put(spec, result)  # must not raise
+        assert cache.get(spec) is None  # entry lost to the race, not cached
+
+    def test_clear_removes_tmp_files_too(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tightloop_spec()
+        cache.put(spec, execute_spec(spec))
+        (tmp_path / "tmpfresh.tmp").write_text("{")
+        assert cache.clear() == 2
+        assert list(tmp_path.iterdir()) == []
 
     def test_runner_skips_cached_specs(self, tmp_path):
         sweep = SweepSpec(name="s", specs=(tightloop_spec(), tightloop_spec(num_cores=4)))
@@ -321,6 +498,30 @@ class TestStreamedProgress:
         assert sorted(position for position, _ in pairs) == [0, 1, 2]
         for position, result in pairs:
             assert result.num_cores == specs[position].num_cores
+
+    def test_runner_detects_duplicate_executor_positions(self):
+        class Duplicating(SerialExecutor):
+            def run_iter(self, specs):
+                result = execute_spec(specs[0])
+                yield 0, result
+                yield 0, result
+
+        sweep = SweepSpec(
+            name="s", specs=(tightloop_spec(), tightloop_spec(num_cores=4))
+        )
+        with pytest.raises(WorkloadError, match="more than once"):
+            Runner(executor=Duplicating()).run(sweep)
+
+    def test_runner_detects_short_executor_yield(self):
+        class Short(SerialExecutor):
+            def run_iter(self, specs):
+                yield 0, execute_spec(specs[0])
+
+        sweep = SweepSpec(
+            name="s", specs=(tightloop_spec(), tightloop_spec(num_cores=4))
+        )
+        with pytest.raises(WorkloadError, match="produced 1 results for 2 specs"):
+            Runner(executor=Short()).run(sweep)
 
     def test_legacy_executor_result_count_mismatch_raises(self):
         # A user-supplied executor without run_iter that returns the wrong
