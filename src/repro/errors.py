@@ -73,6 +73,17 @@ class ExecutionError(ReproError):
         self.failures: Tuple[Tuple[Any, str], ...] = tuple(failures)
 
 
+class SnapshotError(ReproError):
+    """A checkpoint could not be captured, validated, or restored.
+
+    Raised for unreadable or corrupt snapshot files (bad integrity hash,
+    unknown format version), for snapshots whose spec no longer matches the
+    code being restored into, and for replay fast-forwards that diverge from
+    the captured native state — each of which means the checkpoint cannot be
+    trusted and the caller should fall back to from-scratch execution.
+    """
+
+
 class AnalysisError(ReproError):
     """A metric computation or MetricFrame operation received invalid input.
 

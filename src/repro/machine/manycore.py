@@ -139,6 +139,7 @@ class Manycore:
         self._finished = 0
         self._soft_bm_next = 0
         self._ran = False
+        self._events_start = 0
         self._bm_spill_base = self.fabric.allocator.spill_base if self.fabric is not None else 0
         # Hot-path bindings: one type-keyed dispatch table instead of an
         # isinstance chain, and bound methods so the inner loop does not
@@ -205,8 +206,23 @@ class Manycore:
         return addr
 
     # ------------------------------------------------------------------ run
-    def run(self, max_cycles: Optional[int] = None, max_events: int = 50_000_000) -> SimResult:
-        """Run every registered thread to completion and collect results."""
+    #: Default event budget before a run is declared a livelock.
+    DEFAULT_MAX_EVENTS = 50_000_000
+
+    def run(self, max_cycles: Optional[int] = None, max_events: int = DEFAULT_MAX_EVENTS) -> SimResult:
+        """Run every registered thread to completion and collect results.
+
+        One uninterrupted :meth:`begin` / :meth:`advance` / :meth:`finish`
+        sequence; checkpointed executions drive the same three phases with
+        :meth:`advance` called in event slices (slicing is behaviour-
+        preserving — the event loop is a pure function of its queue state).
+        """
+        self.begin()
+        self.advance(max_events=max_events, max_cycles=max_cycles)
+        return self.finish(max_cycles=max_cycles, max_events=max_events)
+
+    def begin(self) -> None:
+        """Arm the run: validate threads and schedule every thread start."""
         if self._ran:
             raise WorkloadError("this Manycore has already run; build a fresh one per experiment")
         self._ran = True
@@ -216,10 +232,15 @@ class Manycore:
             thread.context.num_threads = len(self.threads)
         for thread in self.threads:
             self.sim.schedule(0, self._start_thread, thread)
-        # The engine runs the whole event loop; _advance calls ``sim.stop()``
-        # the moment the last thread finishes, so the driver pays no
-        # per-event Python call to poll for termination.
-        truncated = False
+        self._events_start = self.sim.events_processed
+
+    def advance(self, max_events: Optional[int] = None, max_cycles: Optional[int] = None) -> int:
+        """Fire up to ``max_events`` events; returns how many actually fired.
+
+        The engine runs the whole event loop; _advance calls ``sim.stop()``
+        the moment the last thread finishes, so the driver pays no
+        per-event Python call to poll for termination.
+        """
         sim = self.sim
         before = sim.events_processed
         # The event loop allocates millions of short-lived, acyclic objects
@@ -234,13 +255,32 @@ class Manycore:
         finally:
             if gc_was_enabled:
                 gc.enable()
+        return sim.events_processed - before
+
+    def run_complete(self, max_cycles: Optional[int] = None) -> bool:
+        """True when no further :meth:`advance` can change the run's outcome:
+        every thread finished, the cycle budget truncated the run, or the
+        event queue drained with threads still blocked (a deadlock, which
+        :meth:`finish` reports)."""
+        if self._finished >= len(self.threads):
+            return True
+        if max_cycles is not None and self.sim.now >= max_cycles:
+            return True
+        return self.sim.pending_events == 0
+
+    def finish(
+        self, max_cycles: Optional[int] = None, max_events: int = DEFAULT_MAX_EVENTS
+    ) -> SimResult:
+        """Check how the run ended (truncation/deadlock) and build the result."""
+        truncated = False
+        sim = self.sim
         if self._finished < len(self.threads):
             if max_cycles is not None and sim.now >= max_cycles:
                 # Only a truncation if the budget actually cut threads short;
                 # a run whose last thread finishes exactly on the boundary is
                 # still converged.
                 truncated = True
-            elif sim.events_processed - before >= max_events:
+            elif sim.events_processed - self._events_start >= max_events:
                 raise DeadlockError(f"simulation exceeded {max_events} events")
             else:
                 blocked = [t.thread_id for t in self.threads if not t.finished]

@@ -16,6 +16,11 @@
     python -m repro compare BENCH_fig7.json BENCH_fig7.ci.json --max-regression 0.30
     python -m repro scenarios
     python -m repro profile fig7 --quick --baseline BENCH_fig7.json
+    python -m repro run fig7 --checkpoint-every 200000 --run-id nightly
+    python -m repro run --resume nightly
+    python -m repro snapshot save --workload tightloop --param iterations=100 --events 100000
+    python -m repro snapshot restore <spec-key>.snapshot.json
+    python -m repro snapshot inspect <spec-key>.snapshot.json
 
 ``run`` reports how many grid points were freshly simulated versus served
 from the cache, so a repeated invocation with ``--cache`` visibly performs
@@ -36,6 +41,14 @@ worker subprocesses; ``--bind HOST:PORT`` additionally (or, with
 ``--distributed 0``, exclusively) lets external hosts join by running
 ``python -m repro worker --connect HOST:PORT``.  ``--quick`` shrinks every
 axis the invocation did not set explicitly down to a CI-sized smoke grid.
+
+Every ``run`` records a resumable manifest under ``.wisync-runs/<run-id>/``
+(disable with ``--no-manifest``); ``run --resume RUN_ID`` rebuilds the same
+grid, skips grid points the manifest already recorded, and — when the run
+used ``--checkpoint-every N`` — fast-forwards the spec that was mid-flight
+from its last checkpoint.  ``snapshot save/restore/inspect`` exposes single-
+simulation checkpoints directly; restores are verified bit-for-bit against
+the snapshot's captured engine/rng/stats state.
 """
 
 from __future__ import annotations
@@ -323,9 +336,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
-    def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    def add_sweep_arguments(
+        parser: argparse.ArgumentParser, experiment_optional: bool = False
+    ) -> None:
         """Axis/executor flags shared by the ``run`` and ``report`` commands."""
-        parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+        if experiment_optional:
+            # ``run --resume RUN_ID`` restores the experiment from the
+            # manifest; _cmd_run enforces presence for fresh runs.
+            parser.add_argument(
+                "experiment", nargs="?", default=None, choices=sorted(EXPERIMENTS)
+            )
+        else:
+            parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
         parser.add_argument(
             "--cores", type=_comma_ints, default=None, metavar="N,N,...",
             help="core counts to sweep (fig7/8/9) or the single core count (fig10/11, table5)",
@@ -406,10 +428,32 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     run_parser = subparsers.add_parser("run", help="run one experiment's sweep")
-    add_sweep_arguments(run_parser)
+    add_sweep_arguments(run_parser, experiment_optional=True)
     run_parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the experiment's structured results to PATH as JSON ('-' = stdout)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="EVENTS",
+        help="checkpoint each in-flight simulation every N events (serial and "
+             "distributed sweeps), so a killed run resumes mid-spec",
+    )
+    run_parser.add_argument(
+        "--run-id", default=None, metavar="ID",
+        help="name for this run's manifest directory (default: generated)",
+    )
+    run_parser.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="continue a previous run: restores its sweep arguments, skips "
+             "completed grid points, and fast-forwards mid-spec checkpoints",
+    )
+    run_parser.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="where run manifests live (default: $REPRO_RUNS_DIR or .wisync-runs)",
+    )
+    run_parser.add_argument(
+        "--no-manifest", action="store_true",
+        help="do not record a resumable run manifest for this sweep",
     )
 
     report_parser = subparsers.add_parser(
@@ -474,6 +518,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault injection for tests and chaos drills "
              "(also settable via REPRO_WORKER_FAULT)",
     )
+    worker_parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="EVENTS",
+        help="local default checkpoint interval; a checkpointing broker's "
+             "per-task interval takes precedence",
+    )
+
+    snapshot_parser = subparsers.add_parser(
+        "snapshot",
+        help="save, restore, or inspect a single simulation checkpoint",
+    )
+    snapshot_sub = snapshot_parser.add_subparsers(dest="snapshot_command", required=True)
+    snap_save = snapshot_sub.add_parser(
+        "save", help="run one spec for N events and write its snapshot"
+    )
+    snap_save.add_argument("--workload", required=True, help="registered workload name")
+    snap_save.add_argument("--config", default="WiSync", help="Table 2 configuration")
+    snap_save.add_argument("--cores", type=int, default=16, help="core count")
+    snap_save.add_argument("--seed", type=int, default=None, help="root seed")
+    snap_save.add_argument("--variant", default=None, help="sensitivity variant")
+    snap_save.add_argument(
+        "--max-cycles", type=int, default=None, help="cycle budget for the spec"
+    )
+    snap_save.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="workload parameter (repeatable; VALUE parsed as JSON, else string)",
+    )
+    snap_save.add_argument(
+        "--events", type=int, required=True, metavar="N",
+        help="snapshot after exactly N simulation events",
+    )
+    snap_save.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="snapshot file to write (default: <spec key>.snapshot.json)",
+    )
+    snap_restore = snapshot_sub.add_parser(
+        "restore", help="restore a snapshot and run it to completion"
+    )
+    snap_restore.add_argument("path", help="snapshot file")
+    snap_restore.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the finished SimResult to PATH as JSON ('-' = stdout)",
+    )
+    snap_inspect = snapshot_sub.add_parser(
+        "inspect", help="validate a snapshot file and print its summary"
+    )
+    snap_inspect.add_argument("path", help="snapshot file")
 
     scenarios_parser = subparsers.add_parser(
         "scenarios", help="list the contention-scenario catalog (workloads, knobs, examples)"
@@ -587,13 +677,22 @@ def _apply_quick(args: argparse.Namespace) -> None:
             setattr(args, axis, value)
 
 
-def _build_executor(args: argparse.Namespace):
+def _build_executor(
+    args: argparse.Namespace,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+):
     if args.parallel < 0:
         raise ReproError(f"--parallel must be >= 0, got {args.parallel}")
     if args.distributed < 0:
         raise ReproError(f"--distributed must be >= 0, got {args.distributed}")
     if args.parallel > 0 and (args.distributed > 0 or args.bind):
         raise ReproError("--parallel and --distributed/--bind are mutually exclusive")
+    if args.parallel > 0 and checkpoint_every is not None:
+        raise ReproError(
+            "--checkpoint-every is not supported with --parallel; "
+            "run serially or use --distributed"
+        )
     if args.distributed > 0 or args.bind:
         host, port = parse_address(args.bind) if args.bind else ("127.0.0.1", 0)
         # (--distributed 0 is only reachable with --bind, so the bind flag
@@ -601,11 +700,16 @@ def _build_executor(args: argparse.Namespace):
         return DistributedExecutor(
             workers=args.distributed, host=host, port=port,
             external=bool(args.bind),
+            checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
         )
-    return ParallelExecutor(args.parallel) if args.parallel > 0 else SerialExecutor()
+    if args.parallel > 0:
+        return ParallelExecutor(args.parallel)
+    return SerialExecutor(
+        checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir
+    )
 
 
-def _build_runner(args: argparse.Namespace):
+def _build_runner(args: argparse.Namespace, manifest: Optional[Any] = None):
     """The cache/executor/progress plumbing shared by ``run`` and ``report``."""
     _apply_quick(args)
     if args.iterations is None:
@@ -614,12 +718,29 @@ def _build_runner(args: argparse.Namespace):
         args.repetitions = 2
     if args.phase_scale is None:
         args.phase_scale = 0.5 if args.experiment == "fig11" else 1.0
-    counting = _CountingExecutor(_build_executor(args))
+    checkpoint_every = getattr(args, "checkpoint_every", None)
+    # Whenever a manifest tracks the run, its checkpoints/ directory is live:
+    # even without --checkpoint-every a resumed serial sweep fast-forwards any
+    # mid-spec checkpoint the previous invocation left behind.
+    checkpoint_dir = str(manifest.checkpoint_dir) if manifest is not None else None
+    counting = _CountingExecutor(
+        _build_executor(args, checkpoint_every, checkpoint_dir)
+    )
     cache = ResultCache(args.cache) if args.cache else None
-    progress = None
+    hooks: List[Callable[[SpecProgress], None]] = []
     if args.progress:
+        hooks.append(
+            lambda event: print(event.describe(), file=sys.stderr, flush=True)
+        )
+    if manifest is not None:
+        hooks.append(
+            lambda event: manifest.record_result(event.spec, event.cached)
+        )
+    progress = None
+    if hooks:
         def progress(event: SpecProgress) -> None:
-            print(event.describe(), file=sys.stderr, flush=True)
+            for hook in hooks:
+                hook(event)
     return Runner(executor=counting, cache=cache, progress=progress), counting, cache
 
 
@@ -654,6 +775,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         completed = run_worker(
             host, port,
             heartbeat=args.heartbeat, max_tasks=args.max_tasks, fault=args.fault,
+            checkpoint_every=args.checkpoint_every,
         )
     except OSError as error:
         raise ReproError(f"cannot reach broker at {args.connect}: {error}")
@@ -661,16 +783,148 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``run`` arguments that shape the sweep grid itself — recorded in the run
+#: manifest so ``--resume`` rebuilds the identical grid without repeating
+#: them.  Execution flags (--parallel/--distributed/--progress/...) are
+#: deliberately absent: the resuming invocation chooses those anew.
+_MANIFEST_AXES = (
+    "cores", "configs", "iterations", "repetitions", "crit", "apps",
+    "phase_scale", "variants", "technology_nm", "scenarios", "contention",
+    "backoffs", "quick",
+)
+
+
+def _prepare_manifest(args: argparse.Namespace):
+    """Create or reopen this run's manifest; restores --resume'd arguments.
+
+    Must run before :func:`_build_runner`: resume restores the recorded
+    sweep-shaping axes onto ``args`` (the current invocation's execution
+    flags still win), and both paths may point ``--cache`` at the manifest's
+    own results directory so completed grid points are skippable.
+    """
+    from repro.snapshot import RunManifest
+
+    if args.resume:
+        if args.run_id and args.run_id != args.resume:
+            raise ReproError("--run-id and --resume name different runs")
+        manifest = RunManifest.load(args.resume, runs_dir=args.runs_dir)
+        if args.experiment is not None and args.experiment != manifest.experiment:
+            raise ReproError(
+                f"run {manifest.run_id!r} was a {manifest.experiment} sweep; "
+                f"it cannot resume as {args.experiment}"
+            )
+        args.experiment = manifest.experiment
+        for axis, value in manifest.args.items():
+            if hasattr(args, axis):
+                setattr(args, axis, value)
+        if not args.cache:
+            args.cache = manifest.cache_dir()
+        manifest.mark_status("running")
+        print(
+            f"resuming run {manifest.run_id}: {manifest.experiment}, "
+            f"{len(manifest.completed)} grid points already recorded",
+            file=sys.stderr,
+        )
+        return manifest
+    if args.no_manifest:
+        if args.checkpoint_every is not None:
+            raise ReproError(
+                "--checkpoint-every needs a run manifest to store checkpoints; "
+                "drop --no-manifest"
+            )
+        return None
+    manifest = RunManifest.create(
+        args.experiment,
+        {axis: getattr(args, axis) for axis in _MANIFEST_AXES},
+        runs_dir=args.runs_dir,
+        run_id=args.run_id,
+        cache_dir=args.cache,
+    )
+    if not args.cache:
+        args.cache = manifest.cache_dir()
+    print(
+        f"run id: {manifest.run_id} "
+        f"(continue a killed run with: repro run --resume {manifest.run_id})",
+        file=sys.stderr,
+    )
+    return manifest
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    runner, counting, cache = _build_runner(args)
+    if args.experiment is None and not args.resume:
+        raise ReproError("an experiment is required (or --resume RUN_ID)")
+    manifest = _prepare_manifest(args)
+    runner, counting, cache = _build_runner(args, manifest)
     started = time.perf_counter()
-    table, rendered = EXPERIMENTS[args.experiment](args, runner)
+    try:
+        table, rendered = EXPERIMENTS[args.experiment](args, runner)
+    except BaseException:
+        if manifest is not None:
+            manifest.mark_status("failed")
+        raise
+    if manifest is not None:
+        manifest.mark_status("completed")
     elapsed = time.perf_counter() - started
     if not args.quiet:
         print(rendered)
     _print_run_summary(args, counting, cache, elapsed)
     if args.json:
         _write_text(json.dumps(_json_safe(table), indent=2, sort_keys=True), args.json)
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.runner.spec import DEFAULT_SEED, RunSpec
+    from repro.snapshot import (
+        load_snapshot,
+        resume_to_completion,
+        save_snapshot,
+        snapshot_after,
+    )
+
+    if args.snapshot_command == "save":
+        params: Dict[str, Any] = {}
+        for entry in args.param:
+            key, separator, raw = entry.partition("=")
+            if not separator or not key:
+                raise ReproError(f"--param must look like KEY=VALUE, got {entry!r}")
+            try:
+                params[key] = json.loads(raw)
+            except ValueError:
+                params[key] = raw
+        spec = RunSpec(
+            workload=args.workload,
+            params=tuple(params.items()),
+            config=args.config,
+            num_cores=args.cores,
+            seed=args.seed if args.seed is not None else DEFAULT_SEED,
+            max_cycles=args.max_cycles,
+            variant=args.variant,
+        )
+        snapshot = snapshot_after(spec, args.events)
+        path = args.output or f"{spec.key()[:12]}.snapshot.json"
+        save_snapshot(snapshot, path)
+        print(
+            f"saved [{spec.label()}] at {snapshot.events_processed} events "
+            f"(cycle {snapshot.clock}) to {path}",
+            file=sys.stderr,
+        )
+        return 0
+    snapshot = load_snapshot(args.path)
+    if args.snapshot_command == "inspect":
+        print(json.dumps(snapshot.describe(), indent=2, sort_keys=True))
+        return 0
+    result = resume_to_completion(snapshot)
+    print(
+        f"restored [{snapshot.spec.label()}] from {snapshot.events_processed} "
+        f"events; finished at {result.total_cycles} cycles, "
+        f"{result.events_processed} events, completed={result.completed}",
+        file=sys.stderr,
+    )
+    if args.json:
+        _write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True), args.json
+        )
     return 0
 
 
@@ -760,6 +1014,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_profile(args)
         if args.command == "worker":
             return _cmd_worker(args)
+        if args.command == "snapshot":
+            return _cmd_snapshot(args)
         if args.command == "report":
             return _cmd_report(args)
         if args.command == "compare":

@@ -37,11 +37,22 @@ Wire protocol (one TCP connection per worker, one JSON object per line)::
     worker -> {"type": "heartbeat", "task": <n>}   (no reply; extends lease)
     worker -> {"type": "result", "task": <n>, "result": {<SimResult dict>}}
     worker -> {"type": "error", "task": <n>, "error": "<reason>"}
+    worker -> {"type": "checkpoint", "task": <n>, "snapshot": {<document>}}
+    worker -> {"type": "release", "task": <n>, "snapshot": {<document>}|null}
 
 ``result``/``error`` get no reply; the worker immediately sends the next
 ``next``.  Late results from a worker whose lease already expired are still
 accepted (first result wins — they are deterministic), so a slow-but-alive
 worker never wastes its work.
+
+Checkpoint shipping (broker built with ``checkpoint_every``): every task
+message carries ``checkpoint_every`` and, when the broker holds one, a
+``checkpoint`` snapshot document; the worker resumes mid-spec from it and
+ships a fresh ``checkpoint`` message every N events.  A SIGTERM'd worker
+sends ``release`` — a *clean* lease return that refunds the attempt and
+excludes nobody, unlike ``error`` — optionally carrying a final snapshot, so
+the replacement worker restarts the spec from the last slice boundary rather
+than from zero.
 """
 
 from __future__ import annotations
@@ -73,7 +84,6 @@ from repro.errors import ConfigurationError, ExecutionError
 from repro.machine.results import SimResult
 from repro.runner.executor import (
     _ExecutorBase,
-    _execute_payload,
     describe_error,
     failures_error,
 )
@@ -131,7 +141,7 @@ _READY, _LEASED, _DONE, _FAILED = "ready", "leased", "done", "failed"
 
 class _Task:
     __slots__ = ("position", "payload", "state", "attempts", "excluded",
-                 "worker", "deadline", "errors")
+                 "worker", "deadline", "errors", "checkpoint")
 
     def __init__(self, position: int, payload: Dict[str, Any]) -> None:
         self.position = position
@@ -142,6 +152,9 @@ class _Task:
         self.worker: Optional[str] = None
         self.deadline = 0.0
         self.errors: List[str] = []
+        #: Latest shipped :class:`~repro.snapshot.Snapshot`, if any; attached
+        #: to the next assignment so a replacement worker resumes mid-spec.
+        self.checkpoint: Optional[Any] = None
 
 
 class Broker:
@@ -160,16 +173,22 @@ class Broker:
         port: int = 0,
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
     ) -> None:
         if lease_seconds <= 0:
             raise ConfigurationError("lease_seconds must be positive")
         if max_attempts < 1:
             raise ConfigurationError("max_attempts must be at least 1")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigurationError("checkpoint_every must be a positive event count")
         self._bind = (host, port)
         self.host = host
         self.port = port
         self.lease_seconds = lease_seconds
         self.max_attempts = max_attempts
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
         self._tasks = [_Task(i, payload) for i, payload in enumerate(payloads)]
         self._ready: Deque[int] = collections.deque(range(len(self._tasks)))
         self._outstanding = len(self._tasks)
@@ -183,7 +202,22 @@ class Broker:
         self.stats = {
             "assigned": 0, "completed": 0, "failed": 0, "requeued": 0,
             "expired": 0, "disconnects": 0, "duplicates": 0,
+            "checkpoints": 0, "released": 0, "resumed": 0,
         }
+        if self.checkpoint_dir is not None:
+            self._preload_checkpoints()
+
+    def _preload_checkpoints(self) -> None:
+        """Adopt checkpoints a previous (killed) sweep host left on disk."""
+        from repro.snapshot import checkpoint_path, try_load_snapshot
+
+        for task in self._tasks:
+            spec = RunSpec.from_dict(task.payload)
+            snapshot, _ = try_load_snapshot(
+                checkpoint_path(self.checkpoint_dir, spec)
+            )
+            if snapshot is not None and snapshot.spec == spec:
+                task.checkpoint = snapshot
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -325,7 +359,8 @@ class Broker:
                         })
                     elif kind == "next":
                         _send(conn, write_lock, self._assign(worker))
-                    elif kind in ("heartbeat", "result", "error"):
+                    elif kind in ("heartbeat", "result", "error",
+                                  "checkpoint", "release"):
                         task_id = int(message["task"])
                         if not 0 <= task_id < len(self._tasks):
                             continue  # corrupt or foreign task id; ignore
@@ -333,6 +368,12 @@ class Broker:
                             self._extend_lease(task_id, worker)
                         elif kind == "result":
                             self._complete(task_id, worker, message["result"])
+                        elif kind == "checkpoint":
+                            self._store_checkpoint(
+                                task_id, worker, message.get("snapshot")
+                            )
+                        elif kind == "release":
+                            self._release(task_id, worker, message.get("snapshot"))
                         else:
                             self._report_error(
                                 task_id, worker, str(message.get("error"))
@@ -372,7 +413,15 @@ class Broker:
                 task.attempts += 1
                 task.deadline = time.monotonic() + self.lease_seconds
                 self.stats["assigned"] += 1
-                return {"type": "task", "task": chosen, "payload": task.payload}
+                message = {"type": "task", "task": chosen, "payload": task.payload}
+                if self.checkpoint_every is not None:
+                    message["checkpoint_every"] = self.checkpoint_every
+                if task.checkpoint is not None:
+                    from repro.snapshot import snapshot_document
+
+                    message["checkpoint"] = snapshot_document(task.checkpoint)
+                    self.stats["resumed"] += 1
+                return message
             if self._outstanding == 0:
                 return {"type": "drain"}
             return {"type": "idle", "delay": 0.05}
@@ -382,6 +431,65 @@ class Broker:
             task = self._tasks[task_id]
             if task.state == _LEASED and task.worker == worker:
                 task.deadline = time.monotonic() + self.lease_seconds
+
+    def _parse_checkpoint(self, task_id: int, document: Any) -> Optional[Any]:
+        """Validate a shipped snapshot document against its task's spec."""
+        from repro.errors import SnapshotError
+        from repro.snapshot import parse_document
+
+        try:
+            snapshot = parse_document(document, source=f"task {task_id} checkpoint")
+        except SnapshotError:
+            return None  # corrupt in flight; the old checkpoint stays usable
+        if snapshot.spec != RunSpec.from_dict(self._tasks[task_id].payload):
+            return None
+        return snapshot
+
+    def _persist_checkpoint(self, snapshot: Any) -> None:
+        if self.checkpoint_dir is None:
+            return
+        from repro.snapshot import checkpoint_path, save_snapshot
+
+        try:
+            save_snapshot(snapshot, checkpoint_path(self.checkpoint_dir, snapshot.spec))
+        except OSError:
+            pass  # disk trouble only costs resume granularity, not the sweep
+
+    def _store_checkpoint(self, task_id: int, worker: str, document: Any) -> None:
+        snapshot = self._parse_checkpoint(task_id, document)
+        if snapshot is None:
+            return
+        with self._lock:
+            task = self._tasks[task_id]
+            if task.state != _LEASED or task.worker != worker:
+                return  # stale shipment from an expired lease
+            task.checkpoint = snapshot
+            # A checkpoint proves liveness as well as any heartbeat.
+            task.deadline = time.monotonic() + self.lease_seconds
+            self.stats["checkpoints"] += 1
+        self._persist_checkpoint(snapshot)
+
+    def _release(self, task_id: int, worker: str, document: Any) -> None:
+        """A clean mid-spec lease return (worker preempted, e.g. SIGTERM).
+
+        Unlike ``error`` this refunds the attempt and excludes nobody: the
+        worker did nothing wrong, and its final snapshot means the next
+        assignee continues from the slice boundary instead of from zero.
+        """
+        snapshot = self._parse_checkpoint(task_id, document) if document else None
+        with self._lock:
+            task = self._tasks[task_id]
+            if task.state != _LEASED or task.worker != worker:
+                return
+            if snapshot is not None:
+                task.checkpoint = snapshot
+            task.attempts -= 1
+            task.state = _READY
+            task.worker = None
+            self._ready.append(task.position)
+            self.stats["released"] += 1
+        if snapshot is not None:
+            self._persist_checkpoint(snapshot)
 
     def _complete(self, task_id: int, worker: str, result: Dict[str, Any]) -> None:
         # Parse the payload into a SimResult *before* the task goes terminal:
@@ -404,7 +512,17 @@ class Broker:
             if task.state == _READY:
                 # Expired lease, but the original worker finished after all.
                 self._ready.remove(task_id)
+            task.checkpoint = None
             self._finish_locked(task, _DONE, parsed)
+        if self.checkpoint_dir is not None:
+            from repro.snapshot import checkpoint_path
+
+            try:
+                checkpoint_path(
+                    self.checkpoint_dir, RunSpec.from_dict(task.payload)
+                ).unlink(missing_ok=True)
+            except OSError:
+                pass
 
     def _report_error(self, task_id: int, worker: str, reason: str) -> None:
         with self._lock:
@@ -516,12 +634,63 @@ def _heartbeat_loop(
             return  # broker went away; the main loop will notice
 
 
+def _execute_task(
+    sock: socket.socket,
+    write_lock: threading.Lock,
+    task_id: int,
+    payload: Dict[str, Any],
+    checkpoint_every: Optional[int],
+    checkpoint_doc: Optional[Dict[str, Any]],
+    stop_requested: threading.Event,
+) -> Dict[str, Any]:
+    """Execute one assigned spec: sliced, resumable, checkpoint-shipping.
+
+    The checkpointed sibling of :func:`~repro.runner.executor._execute_payload`
+    — spec dict in, result dict out — plus mid-spec resume from a shipped
+    checkpoint, periodic ``checkpoint`` messages back to the broker, and
+    cooperative preemption (:class:`~repro.snapshot.ExecutionPreempted`
+    propagates to the caller, which turns it into a ``release``).
+    """
+    from repro.errors import SnapshotError
+    from repro.snapshot import (
+        execute_with_checkpoints,
+        parse_document,
+        snapshot_document,
+    )
+
+    spec = RunSpec.from_dict(payload)
+    resume_from = None
+    if checkpoint_doc is not None:
+        try:
+            resume_from = parse_document(
+                checkpoint_doc, source=f"task {task_id} checkpoint"
+            )
+        except SnapshotError:
+            resume_from = None  # corrupt in flight; run from scratch instead
+
+    def ship(snapshot: Any) -> None:
+        _send(sock, write_lock, {
+            "type": "checkpoint", "task": task_id,
+            "snapshot": snapshot_document(snapshot),
+        })
+
+    result = execute_with_checkpoints(
+        spec,
+        checkpoint_every=checkpoint_every,
+        resume_from=resume_from,
+        should_stop=stop_requested.is_set,
+        on_checkpoint=ship if checkpoint_every is not None else None,
+    )
+    return result.to_dict()
+
+
 def run_worker(
     host: str,
     port: int,
     heartbeat: Optional[float] = None,
     max_tasks: Optional[int] = None,
     fault: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> int:
     """Pull specs from the broker at ``(host, port)`` until it drains.
 
@@ -530,7 +699,17 @@ def run_worker(
     tests and chaos drills: ``exit-on-task`` kills the process the moment a
     task is assigned (a crash holding a lease), ``error-on-task`` reports
     every task as failed without running it.
+
+    Specs run in event slices, so the worker stays responsive: a SIGTERM
+    mid-spec stops the simulation at the next slice boundary, ships the
+    final snapshot in a ``release`` message (clean lease return — no attempt
+    burned, no exclusion), and exits 0.  ``checkpoint_every`` (usually
+    pushed per task by a checkpointing broker; the argument is a local
+    default) additionally ships a ``checkpoint`` every N events, and an
+    assignment carrying a prior checkpoint is resumed from it.
     """
+    import signal
+
     fault = fault or os.environ.get(FAULT_ENV) or None
     if fault is not None and fault not in WORKER_FAULTS:
         raise ConfigurationError(
@@ -538,6 +717,14 @@ def run_worker(
         )
     if heartbeat is not None and heartbeat <= 0:
         raise ConfigurationError("heartbeat interval must be positive seconds")
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ConfigurationError("checkpoint_every must be a positive event count")
+    stop_requested = threading.Event()
+    # Signal handlers are a main-thread-only privilege; tests drive
+    # run_worker from helper threads, where SIGTERM keeps its default
+    # disposition and preemption is exercised via the event directly.
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, lambda signum, frame: stop_requested.set())
     sock = _connect(host, port)
     write_lock = threading.Lock()
     reader = sock.makefile("r", encoding="utf-8")
@@ -565,6 +752,8 @@ def run_worker(
     completed = 0
     try:
         while True:
+            if stop_requested.is_set():
+                break  # SIGTERM between tasks: nothing leased, just leave
             try:
                 _send(sock, write_lock, {"type": "next"})
                 reply = _read(reader)
@@ -589,6 +778,9 @@ def run_worker(
                     raise KeyError(reply_type)
                 task_id = int(reply["task"])
                 spec_payload = reply["payload"]
+                task_every = reply.get("checkpoint_every", checkpoint_every)
+                task_every = int(task_every) if task_every is not None else None
+                task_checkpoint = reply.get("checkpoint")
             except (KeyError, TypeError, ValueError) as error:
                 # Valid JSON, wrong shape: a version-skewed broker or some
                 # other JSON-lines service entirely.
@@ -610,13 +802,26 @@ def run_worker(
                     raise ExecutionError("injected worker fault (error-on-task)")
                 report: Dict[str, Any] = {
                     "type": "result", "task": task_id,
-                    "result": _execute_payload(spec_payload),
+                    "result": _execute_task(
+                        sock, write_lock, task_id, spec_payload,
+                        task_every, task_checkpoint, stop_requested,
+                    ),
                 }
             except Exception as error:  # noqa: BLE001 - reported to the broker
-                report = {
-                    "type": "error", "task": task_id,
-                    "error": describe_error(error),
-                }
+                from repro.snapshot import ExecutionPreempted, snapshot_document
+
+                if isinstance(error, ExecutionPreempted):
+                    # SIGTERM mid-spec: return the lease cleanly with the
+                    # final snapshot so the replacement resumes mid-spec.
+                    report = {
+                        "type": "release", "task": task_id,
+                        "snapshot": snapshot_document(error.snapshot),
+                    }
+                else:
+                    report = {
+                        "type": "error", "task": task_id,
+                        "error": describe_error(error),
+                    }
             finally:
                 stop.set()
                 beat.join()
@@ -635,6 +840,8 @@ def run_worker(
                 )
             if report["type"] == "result":
                 completed += 1
+            if report["type"] == "release":
+                break  # preempted: the lease is returned, exit cleanly
             if max_tasks is not None and completed >= max_tasks:
                 break
     finally:
@@ -753,12 +960,16 @@ class DistributedExecutor(_ExecutorBase):
         faults: Optional[Sequence[Optional[str]]] = None,
         announce: Optional[Callable[[str, int], None]] = None,
         external: Optional[bool] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
     ) -> None:
         if workers < 0:
             raise ConfigurationError("workers must be >= 0 (0 = external workers)")
         if heartbeat is not None and heartbeat <= 0:
             raise ConfigurationError("heartbeat interval must be positive seconds")
         self.workers = workers
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
         self.host = host
         self.port = port
         #: Whether external workers are expected to join: announce the broker
@@ -787,6 +998,8 @@ class DistributedExecutor(_ExecutorBase):
             port=self.port,
             lease_seconds=self.lease_seconds,
             max_attempts=self.max_attempts,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_dir=self.checkpoint_dir,
         ).start()
         cluster: Optional[LocalCluster] = None
         failures: List[Tuple[RunSpec, str]] = []

@@ -63,15 +63,31 @@ def build_config_for(spec: RunSpec):
     return config
 
 
-def execute_spec(spec: RunSpec) -> SimResult:
+def execute_spec(
+    spec: RunSpec,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+) -> SimResult:
     """Run one spec end-to-end: config -> machine -> workload -> SimResult.
 
     The simulation's wall-clock time lands in ``result.extra["wall_seconds"]``
     so a :class:`~repro.analysis.frame.MetricFrame` can derive events/sec per
     grid point (cached results carry the timing of the run that produced
     them; their ``cached`` flag says so).
+
+    With ``checkpoint_every``/``checkpoint_dir`` set, execution routes
+    through :func:`repro.snapshot.execute_with_checkpoints`: a snapshot is
+    written every N events, an existing checkpoint for the spec is resumed
+    from, and the result stays bit-identical to an uncheckpointed run.
     """
     import time
+
+    if checkpoint_every is not None or checkpoint_dir is not None:
+        from repro.snapshot import execute_with_checkpoints
+
+        return execute_with_checkpoints(
+            spec, checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir
+        )
 
     from repro.machine.manycore import Manycore
     from repro.runner.registry import REGISTRY
@@ -173,13 +189,30 @@ class _ExecutorBase:
 
 
 class SerialExecutor(_ExecutorBase):
-    """Run specs one after the other in the calling process."""
+    """Run specs one after the other in the calling process.
+
+    Optionally checkpointing: with ``checkpoint_every``/``checkpoint_dir``
+    set, each spec writes periodic snapshots and resumes from any existing
+    checkpoint, so a killed sweep re-enters mid-spec instead of from zero.
+    """
+
+    def __init__(
+        self,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+    ) -> None:
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
 
     def run_iter(
         self, specs: Sequence[RunSpec]
     ) -> Iterator[Tuple[int, SimResult]]:
         for index, spec in enumerate(specs):
-            yield index, execute_spec(spec)
+            yield index, execute_spec(
+                spec,
+                checkpoint_every=self.checkpoint_every,
+                checkpoint_dir=self.checkpoint_dir,
+            )
 
 
 class ParallelExecutor(_ExecutorBase):

@@ -48,6 +48,21 @@ class Simulator:
         """Number of live (non-cancelled) events still in the queue."""
         return len(self._queue) - self._cancelled
 
+    def checkpoint_state(self) -> dict:
+        """The engine's enumerable counters, as a JSON-safe dict.
+
+        This is the *native* half of a checkpoint: the event queue itself
+        holds live callbacks (bound methods, generator frames) that cannot be
+        serialized, so restore reconstructs it by deterministic replay and
+        then verifies these counters match bit-for-bit.
+        """
+        return {
+            "now": self.now,
+            "seq": self._seq,
+            "events_processed": self.events_processed,
+            "pending_events": self.pending_events,
+        }
+
     # ------------------------------------------------------------ scheduling
     def schedule(
         self,
