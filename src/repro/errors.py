@@ -73,6 +73,38 @@ class ExecutionError(ReproError):
         self.failures: Tuple[Tuple[Any, str], ...] = tuple(failures)
 
 
+class PartialSweepError(ExecutionError):
+    """A sweep hit a wall-clock deadline and degraded gracefully.
+
+    Raised — like every :class:`ExecutionError` — only *after* the executor
+    has yielded every result it did obtain, so the completed grid points
+    survive (and are cached).  ``timed_out`` names the ``(spec, reason)``
+    pairs that were cut off by the per-spec deadline or the sweep-level
+    budget; ``failures`` (inherited) additionally includes grid points that
+    failed for non-deadline reasons in the same sweep.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        failures: Sequence[Tuple[Any, str]] = (),
+        timed_out: Sequence[Tuple[Any, str]] = (),
+    ) -> None:
+        super().__init__(message, failures=failures)
+        self.timed_out: Tuple[Tuple[Any, str], ...] = tuple(timed_out)
+
+
+class JournalError(ReproError):
+    """A broker journal could not be read back.
+
+    Raised for structurally corrupt journals — an invalid record in the
+    *middle* of the file, an unrecognized header — that cannot be trusted for
+    replay.  A torn **tail** record (the broker was killed mid-append) is
+    expected under SIGKILL and is *not* an error: replay warns and drops only
+    that record.
+    """
+
+
 class SnapshotError(ReproError):
     """A checkpoint could not be captured, validated, or restored.
 

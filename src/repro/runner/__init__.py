@@ -8,6 +8,12 @@ driven either from Python (:class:`Runner`) or the ``python -m repro`` CLI.
 """
 
 from repro.runner.cache import ResultCache
+from repro.runner.chaos import (
+    ChaosSchedule,
+    KillEvent,
+    run_embedded_drill,
+    verify_against_serial,
+)
 from repro.runner.distributed import (
     Broker,
     DistributedExecutor,
@@ -20,6 +26,8 @@ from repro.runner.executor import (
     backoff_variant,
     execute_spec,
 )
+from repro.runner.journal import BrokerJournal, JournalWarning, TaskReplay
+from repro.runner.supervisor import WorkerSupervisor, backoff_delays
 from repro.runner.registry import (
     REGISTRY,
     WorkloadRegistry,
@@ -47,8 +55,17 @@ __all__ = [
     "ParallelExecutor",
     "DistributedExecutor",
     "Broker",
+    "BrokerJournal",
+    "JournalWarning",
+    "TaskReplay",
     "LocalCluster",
+    "WorkerSupervisor",
+    "backoff_delays",
     "run_worker",
+    "ChaosSchedule",
+    "KillEvent",
+    "run_embedded_drill",
+    "verify_against_serial",
     "execute_spec",
     "backoff_variant",
     "ResultCache",

@@ -18,6 +18,10 @@
     python -m repro profile fig7 --quick --baseline BENCH_fig7.json
     python -m repro run fig7 --checkpoint-every 200000 --run-id nightly
     python -m repro run --resume nightly
+    python -m repro run fig7 --quick --bind 0.0.0.0:7787 --journal --run-id nightly
+    python -m repro run --resume nightly --bind 0.0.0.0:7787 --journal
+    python -m repro workers --connect sweephost:7787 --pool 4
+    python -m repro chaos --seed 0 --kills broker,worker
     python -m repro snapshot save --workload tightloop --param iterations=100 --events 100000
     python -m repro snapshot restore <spec-key>.snapshot.json
     python -m repro snapshot inspect <spec-key>.snapshot.json
@@ -439,6 +443,22 @@ def build_parser() -> argparse.ArgumentParser:
              "distributed sweeps), so a killed run resumes mid-spec",
     )
     run_parser.add_argument(
+        "--journal", action="store_true",
+        help="write-ahead journal the broker's task state into the run "
+             "directory (--distributed/--bind sweeps), so a SIGKILL'd sweep "
+             "host restarted with --resume --journal on the same port "
+             "replays the log and continues the same grid",
+    )
+    run_parser.add_argument(
+        "--spec-deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per grid point; overruns degrade gracefully "
+             "(completed results kept, PartialSweepError names the rest)",
+    )
+    run_parser.add_argument(
+        "--sweep-deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole sweep; see --spec-deadline",
+    )
+    run_parser.add_argument(
         "--run-id", default=None, metavar="ID",
         help="name for this run's manifest directory (default: generated)",
     )
@@ -522,6 +542,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=int, default=None, metavar="EVENTS",
         help="local default checkpoint interval; a checkpointing broker's "
              "per-task interval takes precedence",
+    )
+    worker_parser.add_argument(
+        "--redial", type=float, default=None, metavar="SECONDS",
+        help="ride out broker outages: redial a lost (idle-phase) broker "
+             "with jittered backoff for up to SECONDS before draining "
+             "(default: drain immediately; use with journaled brokers)",
+    )
+
+    workers_parser = subparsers.add_parser(
+        "workers",
+        help="run a self-healing pool of workers against one broker "
+             "(respawns crashes with backoff; circuit breaker on rapid failures)",
+    )
+    workers_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="broker address (printed by the sweep host, or set via --bind)",
+    )
+    workers_parser.add_argument(
+        "--pool", type=int, default=2, metavar="N",
+        help="number of worker subprocesses to supervise (default 2)",
+    )
+    workers_parser.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="lease-heartbeat interval passed to each worker",
+    )
+    workers_parser.add_argument(
+        "--redial", type=float, default=30.0, metavar="SECONDS",
+        help="per-worker broker-outage redial budget (default 30; 0 = off)",
+    )
+    workers_parser.add_argument(
+        "--fault", choices=list(WORKER_FAULTS), default=None,
+        help="fault injection applied to every slot — and respawned, so the "
+             "circuit breaker is exercised (tests and chaos drills)",
+    )
+    workers_parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="EVENTS",
+        help="local default checkpoint interval passed to each worker",
+    )
+    workers_parser.add_argument(
+        "--max-rapid-failures", type=int, default=3, metavar="N",
+        help="consecutive rapid failures before a slot's circuit breaker "
+             "opens and the pool reports the host sick (default 3)",
+    )
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="seeded chaos drill: SIGKILL broker/workers mid-sweep, resume "
+             "with the journal, verify results bit-identical to serial",
+    )
+    chaos_parser.add_argument(
+        "experiment", nargs="?", default="fig7",
+        choices=sorted(EXPERIMENTS),
+        help="experiment to drill on its --quick grid (default fig7)",
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="schedule seed; same seed, same kill schedule (default 0)",
+    )
+    chaos_parser.add_argument(
+        "--kills", type=_comma_strs, default=["broker", "worker"],
+        metavar="T,T,...",
+        help="kill targets, one kill each: broker, worker "
+             "(default broker,worker)",
+    )
+    chaos_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker subprocesses serving the drill sweep (default 2)",
+    )
+    chaos_parser.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="abort the drill after this long (default 600)",
     )
 
     snapshot_parser = subparsers.add_parser(
@@ -681,7 +772,10 @@ def _build_executor(
     args: argparse.Namespace,
     checkpoint_every: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
+    journal_dir: Optional[str] = None,
 ):
+    spec_deadline = getattr(args, "spec_deadline", None)
+    sweep_deadline = getattr(args, "sweep_deadline", None)
     if args.parallel < 0:
         raise ReproError(f"--parallel must be >= 0, got {args.parallel}")
     if args.distributed < 0:
@@ -693,6 +787,11 @@ def _build_executor(
             "--checkpoint-every is not supported with --parallel; "
             "run serially or use --distributed"
         )
+    if args.parallel > 0 and (spec_deadline or sweep_deadline):
+        raise ReproError(
+            "--spec-deadline/--sweep-deadline are not supported with "
+            "--parallel; run serially or use --distributed"
+        )
     if args.distributed > 0 or args.bind:
         host, port = parse_address(args.bind) if args.bind else ("127.0.0.1", 0)
         # (--distributed 0 is only reachable with --bind, so the bind flag
@@ -701,11 +800,14 @@ def _build_executor(
             workers=args.distributed, host=host, port=port,
             external=bool(args.bind),
             checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
+            journal_dir=journal_dir,
+            spec_deadline=spec_deadline, sweep_deadline=sweep_deadline,
         )
     if args.parallel > 0:
         return ParallelExecutor(args.parallel)
     return SerialExecutor(
-        checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir
+        checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
+        spec_deadline=spec_deadline, sweep_deadline=sweep_deadline,
     )
 
 
@@ -723,8 +825,21 @@ def _build_runner(args: argparse.Namespace, manifest: Optional[Any] = None):
     # even without --checkpoint-every a resumed serial sweep fast-forwards any
     # mid-spec checkpoint the previous invocation left behind.
     checkpoint_dir = str(manifest.checkpoint_dir) if manifest is not None else None
+    journal_dir = None
+    if getattr(args, "journal", False):
+        if not (args.distributed > 0 or args.bind):
+            raise ReproError(
+                "--journal journals the broker; it needs --distributed N "
+                "or --bind"
+            )
+        if manifest is None:
+            raise ReproError(
+                "--journal stores the broker journal in the run directory; "
+                "drop --no-manifest"
+            )
+        journal_dir = str(manifest.journal_dir)
     counting = _CountingExecutor(
-        _build_executor(args, checkpoint_every, checkpoint_dir)
+        _build_executor(args, checkpoint_every, checkpoint_dir, journal_dir)
     )
     cache = ResultCache(args.cache) if args.cache else None
     hooks: List[Callable[[SpecProgress], None]] = []
@@ -775,12 +890,40 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         completed = run_worker(
             host, port,
             heartbeat=args.heartbeat, max_tasks=args.max_tasks, fault=args.fault,
-            checkpoint_every=args.checkpoint_every,
+            checkpoint_every=args.checkpoint_every, redial=args.redial,
         )
     except OSError as error:
         raise ReproError(f"cannot reach broker at {args.connect}: {error}")
     print(f"worker drained: {completed} specs completed", file=sys.stderr)
     return 0
+
+
+def _cmd_workers(args: argparse.Namespace) -> int:
+    from repro.runner.supervisor import run_supervisor
+
+    host, port = parse_address(args.connect)
+    if args.pool < 1:
+        raise ReproError(f"--pool must be >= 1, got {args.pool}")
+    return run_supervisor(
+        host, port, args.pool,
+        heartbeat=args.heartbeat,
+        redial=args.redial if args.redial else None,
+        fault=args.fault,
+        checkpoint_every=args.checkpoint_every,
+        max_rapid_failures=args.max_rapid_failures,
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.runner.chaos import run_subprocess_drill
+
+    return run_subprocess_drill(
+        experiment=args.experiment,
+        seed=args.seed,
+        kills=args.kills,
+        workers=args.workers,
+        timeout=args.timeout,
+    )
 
 
 #: ``run`` arguments that shape the sweep grid itself — recorded in the run
@@ -1014,6 +1157,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_profile(args)
         if args.command == "worker":
             return _cmd_worker(args)
+        if args.command == "workers":
+            return _cmd_workers(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "snapshot":
             return _cmd_snapshot(args)
         if args.command == "report":

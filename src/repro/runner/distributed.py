@@ -86,8 +86,10 @@ from repro.runner.executor import (
     _ExecutorBase,
     describe_error,
     failures_error,
+    partial_sweep_error,
 )
 from repro.runner.spec import RunSpec
+from repro.runner.supervisor import WorkerSupervisor, backoff_delays
 
 #: Default lease duration; heartbeats every ``lease/3`` keep long specs alive.
 DEFAULT_LEASE_SECONDS = 30.0
@@ -141,7 +143,8 @@ _READY, _LEASED, _DONE, _FAILED = "ready", "leased", "done", "failed"
 
 class _Task:
     __slots__ = ("position", "payload", "state", "attempts", "excluded",
-                 "worker", "deadline", "errors", "checkpoint")
+                 "worker", "deadline", "errors", "checkpoint", "key",
+                 "first_assigned", "timed_out")
 
     def __init__(self, position: int, payload: Dict[str, Any]) -> None:
         self.position = position
@@ -155,6 +158,15 @@ class _Task:
         #: Latest shipped :class:`~repro.snapshot.Snapshot`, if any; attached
         #: to the next assignment so a replacement worker resumes mid-spec.
         self.checkpoint: Optional[Any] = None
+        #: Spec content key (sha256); set only on journaled brokers, where
+        #: records must survive grid renumbering across restarts.
+        self.key: Optional[str] = None
+        #: Wall-clock (monotonic) of the *first* assignment — the per-spec
+        #: deadline measures total time-in-flight, not per-attempt time.
+        self.first_assigned: Optional[float] = None
+        #: True when this task was terminally failed by a deadline, not by
+        #: worker errors; surfaces as PartialSweepError on the sweep host.
+        self.timed_out = False
 
 
 class Broker:
@@ -175,6 +187,9 @@ class Broker:
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         checkpoint_every: Optional[int] = None,
         checkpoint_dir: Optional[str] = None,
+        journal_dir: Optional[str] = None,
+        spec_deadline_seconds: Optional[float] = None,
+        sweep_deadline_seconds: Optional[float] = None,
     ) -> None:
         if lease_seconds <= 0:
             raise ConfigurationError("lease_seconds must be positive")
@@ -182,6 +197,10 @@ class Broker:
             raise ConfigurationError("max_attempts must be at least 1")
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ConfigurationError("checkpoint_every must be a positive event count")
+        if spec_deadline_seconds is not None and spec_deadline_seconds <= 0:
+            raise ConfigurationError("spec_deadline_seconds must be positive")
+        if sweep_deadline_seconds is not None and sweep_deadline_seconds <= 0:
+            raise ConfigurationError("sweep_deadline_seconds must be positive")
         self._bind = (host, port)
         self.host = host
         self.port = port
@@ -189,6 +208,9 @@ class Broker:
         self.max_attempts = max_attempts
         self.checkpoint_every = checkpoint_every
         self.checkpoint_dir = checkpoint_dir
+        self.spec_deadline_seconds = spec_deadline_seconds
+        self.sweep_deadline_seconds = sweep_deadline_seconds
+        self._started_at: Optional[float] = None
         self._tasks = [_Task(i, payload) for i, payload in enumerate(payloads)]
         self._ready: Deque[int] = collections.deque(range(len(self._tasks)))
         self._outstanding = len(self._tasks)
@@ -203,15 +225,90 @@ class Broker:
             "assigned": 0, "completed": 0, "failed": 0, "requeued": 0,
             "expired": 0, "disconnects": 0, "duplicates": 0,
             "checkpoints": 0, "released": 0, "resumed": 0,
+            "replayed": 0, "timed_out": 0,
         }
+        self._journal: Optional[Any] = None
+        if journal_dir is not None:
+            self._attach_journal(journal_dir)
         if self.checkpoint_dir is not None:
             self._preload_checkpoints()
 
+    def _attach_journal(self, journal_dir: str) -> None:
+        """Open (and replay, if present) the write-ahead journal.
+
+        Replay happens *before* the listener starts, so a restarted broker
+        re-enters the exact task state the journal proves: finished grid
+        points go terminal immediately (their events pre-queued for the
+        sweep host — re-emitted, never re-run), burned attempts and worker
+        exclusions stick, shipped checkpoints are re-adopted, and the attempt
+        that was in flight when the old broker died is refunded.
+        """
+        from repro.runner.journal import BrokerJournal
+
+        self._journal = BrokerJournal(journal_dir)
+        for task in self._tasks:
+            task.key = RunSpec.from_dict(task.payload).key()
+        states = self._journal.replay()
+        for task in self._tasks:
+            state = states.get(task.key)
+            if state is None:
+                continue
+            if state.result is not None:
+                try:
+                    parsed = SimResult.from_dict(state.result)
+                except Exception:  # noqa: BLE001 - foreign/corrupt payload
+                    continue  # treat as never-run rather than crash the sweep
+                self._ready.remove(task.position)
+                self.stats["replayed"] += 1
+                self._finish_locked(task, _DONE, parsed, journal=False)
+                continue
+            if state.failed:
+                task.errors = list(state.errors)
+                self._ready.remove(task.position)
+                self._finish_locked(task, _FAILED, journal=False)
+                continue
+            task.attempts = state.settled_attempts()
+            task.excluded = set(state.excluded)
+            task.errors = list(state.errors)
+            if state.checkpoint is not None:
+                snapshot = self._parse_checkpoint(task.position, state.checkpoint)
+                if snapshot is not None:
+                    task.checkpoint = snapshot
+                    self.stats["replayed"] += 1
+
+    def _journal_append(self, record: Dict[str, Any]) -> None:
+        """Durably log one transition; disk trouble degrades to no journal."""
+        if self._journal is None:
+            return
+        try:
+            self._journal.append(record)
+        except OSError as error:
+            import warnings
+
+            from repro.runner.journal import JournalWarning
+
+            warnings.warn(
+                f"broker journal write failed ({error}); continuing without "
+                f"crash recovery for this sweep",
+                JournalWarning,
+                stacklevel=2,
+            )
+            try:
+                self._journal.close()
+            finally:
+                self._journal = None
+
     def _preload_checkpoints(self) -> None:
-        """Adopt checkpoints a previous (killed) sweep host left on disk."""
+        """Adopt checkpoints a previous (killed) sweep host left on disk.
+
+        Journal-replayed checkpoints win: they are at least as fresh as the
+        persisted copies (every persisted snapshot was journaled first).
+        """
         from repro.snapshot import checkpoint_path, try_load_snapshot
 
         for task in self._tasks:
+            if task.checkpoint is not None or task.state in (_DONE, _FAILED):
+                continue
             spec = RunSpec.from_dict(task.payload)
             snapshot, _ = try_load_snapshot(
                 checkpoint_path(self.checkpoint_dir, spec)
@@ -232,6 +329,7 @@ class Broker:
                 f"cannot bind broker to {self._bind[0]}:{self._bind[1]}: {error}"
             )
         self.host, self.port = self._listener.getsockname()[:2]
+        self._started_at = time.monotonic()
         for target in (self._accept_loop, self._monitor_loop):
             thread = threading.Thread(target=target, daemon=True)
             thread.start()
@@ -261,6 +359,8 @@ class Broker:
                 pass
         for thread in self._threads:
             thread.join(timeout=2.0)
+        if self._journal is not None:
+            self._journal.close()
 
     def __enter__(self) -> "Broker":
         return self.start()
@@ -279,8 +379,22 @@ class Broker:
         with self._lock:
             return len(self._workers)
 
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (chaos drills poll this mid-kill)."""
+        return self._closed.is_set()
+
+    def timed_out_positions(self) -> set:
+        """Positions terminally failed by a spec deadline or the sweep budget."""
+        with self._lock:
+            return {task.position for task in self._tasks if task.timed_out}
+
     def abort(self, reason: str) -> None:
-        """Terminally fail every non-finished task (unblocks :meth:`events`)."""
+        """Terminally fail every non-finished task (unblocks :meth:`events`).
+
+        Abort failures are *not* journaled: they reflect this session's
+        environment (every local worker died), not a durable fact about the
+        spec, and a restarted broker should retry those grid points.
+        """
         with self._lock:
             for task in self._tasks:
                 if task.state in (_DONE, _FAILED):
@@ -291,7 +405,7 @@ class Broker:
                     except ValueError:
                         pass
                 task.errors.append(reason)
-                self._finish_locked(task, _FAILED)
+                self._finish_locked(task, _FAILED, journal=False)
 
     def events(
         self,
@@ -411,8 +525,14 @@ class Broker:
                 task.state = _LEASED
                 task.worker = worker
                 task.attempts += 1
-                task.deadline = time.monotonic() + self.lease_seconds
+                now = time.monotonic()
+                if task.first_assigned is None:
+                    task.first_assigned = now
+                task.deadline = now + self.lease_seconds
                 self.stats["assigned"] += 1
+                self._journal_append({
+                    "kind": "assigned", "key": task.key, "worker": worker,
+                })
                 message = {"type": "task", "task": chosen, "payload": task.payload}
                 if self.checkpoint_every is not None:
                     message["checkpoint_every"] = self.checkpoint_every
@@ -467,6 +587,9 @@ class Broker:
             # A checkpoint proves liveness as well as any heartbeat.
             task.deadline = time.monotonic() + self.lease_seconds
             self.stats["checkpoints"] += 1
+            self._journal_append({
+                "kind": "checkpointed", "key": task.key, "snapshot": document,
+            })
         self._persist_checkpoint(snapshot)
 
     def _release(self, task_id: int, worker: str, document: Any) -> None:
@@ -483,11 +606,16 @@ class Broker:
                 return
             if snapshot is not None:
                 task.checkpoint = snapshot
+                self._journal_append({
+                    "kind": "checkpointed", "key": task.key,
+                    "snapshot": document,
+                })
             task.attempts -= 1
             task.state = _READY
             task.worker = None
             self._ready.append(task.position)
             self.stats["released"] += 1
+            self._journal_append({"kind": "released", "key": task.key})
         if snapshot is not None:
             self._persist_checkpoint(snapshot)
 
@@ -559,10 +687,29 @@ class Broker:
 
     def _monitor_loop(self) -> None:
         interval = min(0.5, self.lease_seconds / 4.0)
+        if self.spec_deadline_seconds is not None:
+            interval = min(interval, self.spec_deadline_seconds / 4.0)
+        if self.sweep_deadline_seconds is not None:
+            interval = min(interval, self.sweep_deadline_seconds / 4.0)
+        interval = max(interval, 0.02)
         while not self._closed.wait(interval):
             now = time.monotonic()
             with self._lock:
                 for task in self._tasks:
+                    if task.state in (_DONE, _FAILED):
+                        continue
+                    if (
+                        self.spec_deadline_seconds is not None
+                        and task.first_assigned is not None
+                        and now - task.first_assigned > self.spec_deadline_seconds
+                    ):
+                        self._time_out_locked(
+                            task,
+                            f"spec deadline exceeded "
+                            f"({self.spec_deadline_seconds}s since first "
+                            f"assignment)",
+                        )
+                        continue
                     if task.state == _LEASED and task.deadline < now:
                         self.stats["expired"] += 1
                         self._requeue_or_fail_locked(
@@ -571,6 +718,36 @@ class Broker:
                             f"(no heartbeat for {self.lease_seconds}s)",
                             exclude=True,
                         )
+                if (
+                    self.sweep_deadline_seconds is not None
+                    and self._started_at is not None
+                    and now - self._started_at > self.sweep_deadline_seconds
+                ):
+                    for task in self._tasks:
+                        if task.state not in (_DONE, _FAILED):
+                            self._time_out_locked(
+                                task,
+                                f"sweep budget exhausted "
+                                f"({self.sweep_deadline_seconds}s)",
+                            )
+
+    def _time_out_locked(self, task: _Task, reason: str) -> None:
+        """Terminally fail a wedged task so the sweep degrades gracefully.
+
+        Not journaled: deadlines are session policy, not durable facts about
+        the spec — a restarted broker (perhaps with a bigger budget) should
+        be free to retry it.  A late result from the still-running worker is
+        dropped as a duplicate, keeping the executor's yield-once contract.
+        """
+        if task.state == _READY:
+            try:
+                self._ready.remove(task.position)
+            except ValueError:
+                pass
+        task.errors.append(reason)
+        task.timed_out = True
+        self.stats["timed_out"] += 1
+        self._finish_locked(task, _FAILED, journal=False)
 
     def _requeue_or_fail_locked(
         self, task: _Task, reason: str, exclude: bool
@@ -578,6 +755,10 @@ class Broker:
         task.errors.append(reason)
         if exclude and task.worker is not None:
             task.excluded.add(task.worker)
+            self._journal_append({
+                "kind": "excluded", "key": task.key,
+                "worker": task.worker, "reason": reason,
+            })
         if task.attempts >= self.max_attempts:
             self._finish_locked(task, _FAILED)
         else:
@@ -587,15 +768,29 @@ class Broker:
             self.stats["requeued"] += 1
 
     def _finish_locked(
-        self, task: _Task, state: str, result: Optional[SimResult] = None
+        self,
+        task: _Task,
+        state: str,
+        result: Optional[SimResult] = None,
+        journal: bool = True,
     ) -> None:
         task.state = state
         task.worker = None
         self._outstanding -= 1
         if state == _DONE:
+            if journal:
+                self._journal_append({
+                    "kind": "completed", "key": task.key,
+                    "result": result.to_dict() if result is not None else None,
+                })
             self.stats["completed"] += 1
             self._events.put(("result", task.position, result))
         else:
+            if journal:
+                self._journal_append({
+                    "kind": "failed", "key": task.key,
+                    "reasons": list(task.errors),
+                })
             self.stats["failed"] += 1
             self._events.put(("failed", task.position, "; ".join(task.errors)))
 
@@ -609,15 +804,97 @@ def worker_id() -> str:
 
 
 def _connect(host: str, port: int, timeout: float = 10.0) -> socket.socket:
-    """Dial the broker, retrying while it (or the network) comes up."""
+    """Dial the broker, retrying while it (or the network) comes up.
+
+    Retries back off exponentially with jitter (see
+    :func:`~repro.runner.supervisor.backoff_delays`): a supervisor respawning
+    a whole fleet, or a pool of workers redialing a restarted broker, must
+    not hammer the listen backlog in lockstep.  ``timeout`` caps the *total*
+    dial time, not any single attempt.
+    """
     deadline = time.monotonic() + timeout
+    delays = backoff_delays(0.05, 1.0)
     while True:
         try:
             return socket.create_connection((host, port), timeout=30.0)
         except OSError:
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise
-            time.sleep(0.1)
+            time.sleep(min(next(delays), max(0.0, remaining)))
+
+
+def _handshake(
+    host: str,
+    port: int,
+    name: str,
+    connect_timeout: float = 10.0,
+) -> Tuple[socket.socket, Any, threading.Lock, float]:
+    """Dial the broker and complete the JSON handshake as worker ``name``.
+
+    Returns ``(sock, reader, write_lock, lease_seconds)``.  Shared by the
+    initial dial and mid-sweep redials; the worker keeps one ``name`` across
+    redials so its exclusions on the broker survive the reconnect.
+    """
+    sock = _connect(host, port, timeout=connect_timeout)
+    write_lock = threading.Lock()
+    reader = sock.makefile("r", encoding="utf-8")
+    try:
+        _send(sock, write_lock, {"type": "hello", "worker": name})
+        welcome = _read(reader)
+    except (OSError, ValueError) as error:
+        # ValueError: the peer spoke, but not JSON — probably not a broker.
+        sock.close()
+        raise ExecutionError(
+            f"broker at {host}:{port} did not complete the JSON handshake: "
+            f"{describe_error(error)}"
+        )
+    try:
+        if welcome is None or welcome["type"] != "welcome":
+            raise KeyError("welcome")
+        lease = float(welcome.get("lease_seconds") or DEFAULT_LEASE_SECONDS)
+    except (KeyError, TypeError, ValueError):
+        sock.close()
+        raise ExecutionError(
+            f"broker at {host}:{port} rejected the handshake "
+            f"(reply {welcome!r})"
+        )
+    return sock, reader, write_lock, lease
+
+
+def _redial(
+    host: str,
+    port: int,
+    name: str,
+    redial_seconds: Optional[float],
+    stop: threading.Event,
+) -> Optional[Tuple[socket.socket, Any, threading.Lock, float]]:
+    """Try to rejoin a (journaled, restarting) broker after losing it idle.
+
+    Jittered-backoff attempts until ``redial_seconds`` elapse; returns a
+    fresh handshake tuple, or None when the deadline expires, redial is
+    disabled (None/0 — the historical drain-immediately behavior), or a
+    SIGTERM arrives mid-redial.
+    """
+    if not redial_seconds:
+        return None
+    deadline = time.monotonic() + redial_seconds
+    delays = backoff_delays(0.1, 2.0)
+    while not stop.is_set():
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return None
+        try:
+            return _handshake(
+                host, port, name, connect_timeout=min(remaining, 2.0)
+            )
+        except (OSError, ExecutionError):
+            pass  # still down (or mid-restart); back off and retry
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return None
+        stop.wait(min(next(delays), remaining))
+    return None
 
 
 def _heartbeat_loop(
@@ -691,6 +968,7 @@ def run_worker(
     max_tasks: Optional[int] = None,
     fault: Optional[str] = None,
     checkpoint_every: Optional[int] = None,
+    redial: Optional[float] = None,
 ) -> int:
     """Pull specs from the broker at ``(host, port)`` until it drains.
 
@@ -707,6 +985,15 @@ def run_worker(
     pushed per task by a checkpointing broker; the argument is a local
     default) additionally ships a ``checkpoint`` every N events, and an
     assignment carrying a prior checkpoint is resumed from it.
+
+    ``redial`` opts into riding out broker outages: a worker that loses the
+    broker while *idle* redials with jittered backoff for up to that many
+    seconds (rejoining under the same worker name, so exclusions stick)
+    before treating the loss as a drain.  The default (None/0) keeps the
+    historical behavior — an idle worker whose broker vanishes exits 0
+    immediately, which is correct for non-journaled brokers that can never
+    come back.  Losing the broker *while holding a task* stays a nonzero
+    exit either way: completed work was lost and a supervisor should know.
     """
     import signal
 
@@ -719,56 +1006,50 @@ def run_worker(
         raise ConfigurationError("heartbeat interval must be positive seconds")
     if checkpoint_every is not None and checkpoint_every < 1:
         raise ConfigurationError("checkpoint_every must be a positive event count")
+    if redial is not None and redial < 0:
+        raise ConfigurationError("redial must be >= 0 seconds")
     stop_requested = threading.Event()
     # Signal handlers are a main-thread-only privilege; tests drive
     # run_worker from helper threads, where SIGTERM keeps its default
     # disposition and preemption is exercised via the event directly.
     if threading.current_thread() is threading.main_thread():
         signal.signal(signal.SIGTERM, lambda signum, frame: stop_requested.set())
-    sock = _connect(host, port)
-    write_lock = threading.Lock()
-    reader = sock.makefile("r", encoding="utf-8")
-    try:
-        _send(sock, write_lock, {"type": "hello", "worker": worker_id()})
-        welcome = _read(reader)
-    except (OSError, ValueError) as error:
-        # ValueError: the peer spoke, but not JSON — probably not a broker.
-        sock.close()
-        raise ExecutionError(
-            f"broker at {host}:{port} did not complete the JSON handshake: "
-            f"{describe_error(error)}"
-        )
-    try:
-        if welcome is None or welcome["type"] != "welcome":
-            raise KeyError("welcome")
-        lease = float(welcome.get("lease_seconds") or DEFAULT_LEASE_SECONDS)
-    except (KeyError, TypeError, ValueError):
-        sock.close()
-        raise ExecutionError(
-            f"broker at {host}:{port} rejected the handshake "
-            f"(reply {welcome!r})"
-        )
+    name = worker_id()
+    sock, reader, write_lock, lease = _handshake(host, port, name)
     interval = heartbeat if heartbeat is not None else max(0.05, lease / 3.0)
     completed = 0
     try:
         while True:
             if stop_requested.is_set():
                 break  # SIGTERM between tasks: nothing leased, just leave
+            reply = None
             try:
                 _send(sock, write_lock, {"type": "next"})
                 reply = _read(reader)
             except OSError:
-                # Broker gone while we hold no task: from this side that is
-                # indistinguishable from a drain (the sweep host closes its
-                # socket right after the last result), and nothing is lost.
-                break
+                pass  # connection error: same broker-gone case as the EOF
             except ValueError as error:
                 raise ExecutionError(
                     f"protocol error from broker at {host}:{port}: "
                     f"{describe_error(error)}"
                 )
+            if reply is None:
+                # Broker gone (EOF or error) while we hold no task — a
+                # SIGKILL'd broker usually reads as a clean EOF, exactly like
+                # a drained sweep host closing up.  With redial enabled
+                # (journaled brokers restart), try to rejoin first; only a
+                # failed redial — or none configured — is treated as the
+                # drain it is indistinguishable from, and nothing is lost.
+                rejoined = _redial(host, port, name, redial, stop_requested)
+                if rejoined is None:
+                    break
+                sock.close()
+                sock, reader, write_lock, lease = rejoined
+                if heartbeat is None:
+                    interval = max(0.05, lease / 3.0)
+                continue
             try:
-                reply_type = reply["type"] if reply is not None else "drain"
+                reply_type = reply["type"]
                 if reply_type == "drain":
                     break
                 if reply_type == "idle":
@@ -962,6 +1243,10 @@ class DistributedExecutor(_ExecutorBase):
         external: Optional[bool] = None,
         checkpoint_every: Optional[int] = None,
         checkpoint_dir: Optional[str] = None,
+        journal_dir: Optional[str] = None,
+        spec_deadline: Optional[float] = None,
+        sweep_deadline: Optional[float] = None,
+        redial: Optional[float] = None,
     ) -> None:
         if workers < 0:
             raise ConfigurationError("workers must be >= 0 (0 = external workers)")
@@ -970,6 +1255,10 @@ class DistributedExecutor(_ExecutorBase):
         self.workers = workers
         self.checkpoint_every = checkpoint_every
         self.checkpoint_dir = checkpoint_dir
+        self.journal_dir = journal_dir
+        self.spec_deadline = spec_deadline
+        self.sweep_deadline = sweep_deadline
+        self.redial = redial
         self.host = host
         self.port = port
         #: Whether external workers are expected to join: announce the broker
@@ -1000,28 +1289,37 @@ class DistributedExecutor(_ExecutorBase):
             max_attempts=self.max_attempts,
             checkpoint_every=self.checkpoint_every,
             checkpoint_dir=self.checkpoint_dir,
+            journal_dir=self.journal_dir,
+            spec_deadline_seconds=self.spec_deadline,
+            sweep_deadline_seconds=self.sweep_deadline,
         ).start()
-        cluster: Optional[LocalCluster] = None
-        failures: List[Tuple[RunSpec, str]] = []
+        cluster: Optional[WorkerSupervisor] = None
+        failures: List[Tuple[int, str]] = []
         try:
             if self.workers:
-                cluster = LocalCluster(
+                # Supervised, not fire-and-forget: a healthy worker that
+                # crashes is respawned (jittered backoff, circuit breaker);
+                # fault-injected slots stay down, as the drills require.
+                cluster = WorkerSupervisor(
                     connect_host(broker.host), broker.port, self.workers,
                     faults=self.faults, heartbeat=self.heartbeat,
+                    redial=self.redial,
                 )
             if self.external:
                 # External workers are expected: tell them where to join.
                 (self.announce or _announce_default)(broker.host, broker.port)
 
             def watchdog() -> None:
-                # Abort only in pure-local mode (owned cluster, no external
-                # joiners expected): there, dead local workers mean nobody
-                # can ever serve the sweep.  With external workers expected —
-                # present, or still to come — the sweep must keep waiting.
+                # Abort only in pure-local mode (owned pool, no external
+                # joiners expected): there, a pool that gave up — every slot
+                # drained, abandoned, or circuit-broken, none awaiting
+                # respawn — means nobody can ever serve the sweep.  With
+                # external workers expected — present, or still to come —
+                # the sweep must keep waiting.
                 if (
                     cluster is not None
                     and not self.external
-                    and cluster.alive_count() == 0
+                    and cluster.gave_up()
                     and broker.worker_count() == 0
                 ):
                     broker.abort(
@@ -1033,11 +1331,22 @@ class DistributedExecutor(_ExecutorBase):
                 if kind == "result":
                     yield position, payload
                 else:
-                    failures.append((specs[position], payload))
+                    failures.append((position, payload))
         finally:
             if cluster is not None:
                 cluster.close()
             broker.close()
             self.last_stats = dict(broker.stats)
         if failures:
-            raise failures_error(failures, len(specs))
+            timed_out_at = broker.timed_out_positions()
+            timed_out = [
+                (specs[position], reason)
+                for position, reason in failures if position in timed_out_at
+            ]
+            plain = [
+                (specs[position], reason)
+                for position, reason in failures if position not in timed_out_at
+            ]
+            if timed_out:
+                raise partial_sweep_error(plain, timed_out, len(specs))
+            raise failures_error(plain, len(specs))

@@ -16,7 +16,7 @@ import concurrent.futures
 import os
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import ExecutionError, WorkloadError
+from repro.errors import ExecutionError, PartialSweepError, WorkloadError
 from repro.machine.results import SimResult
 from repro.runner.spec import RunSpec
 
@@ -128,6 +128,31 @@ def failures_error(
     )
 
 
+def partial_sweep_error(
+    failures: Sequence[Tuple[RunSpec, str]],
+    timed_out: Sequence[Tuple[RunSpec, str]],
+    total: int,
+) -> PartialSweepError:
+    """Build the :class:`PartialSweepError` for a deadline-degraded sweep.
+
+    Raised — like :func:`failures_error` — only after every obtained result
+    has been yielded: the sweep *degraded*, it did not fail wholesale, and
+    the caller keeps (and caches) everything that finished in time.
+    """
+    shown = "; ".join(
+        f"[{spec.label()}] {reason}" for spec, reason in timed_out[:3]
+    )
+    if len(timed_out) > 3:
+        shown += f"; ... and {len(timed_out) - 3} more"
+    message = (
+        f"sweep degraded gracefully: {len(timed_out)} of {total} grid points "
+        f"timed out: {shown}"
+    )
+    if failures:
+        message += f" ({len(failures)} more failed for other reasons)"
+    return PartialSweepError(message, failures=failures, timed_out=timed_out)
+
+
 def validated_positions(
     pairs: Iterator[Tuple[int, SimResult]], specs: Sequence[RunSpec]
 ) -> Iterator[Tuple[int, SimResult]]:
@@ -194,25 +219,102 @@ class SerialExecutor(_ExecutorBase):
     Optionally checkpointing: with ``checkpoint_every``/``checkpoint_dir``
     set, each spec writes periodic snapshots and resumes from any existing
     checkpoint, so a killed sweep re-enters mid-spec instead of from zero.
+
+    Optionally deadlined: ``spec_deadline`` caps each grid point's wall-clock
+    seconds and ``sweep_deadline`` budgets the whole batch.  A spec that
+    overruns is stopped at its next event-slice boundary (its partial
+    snapshot persists when ``checkpoint_dir`` is set, so a later run with a
+    bigger budget resumes instead of restarting); once the sweep budget is
+    gone the remaining specs are skipped outright.  Every result obtained in
+    time is still yielded — the overruns then surface together as one
+    :class:`~repro.errors.PartialSweepError`.
     """
 
     def __init__(
         self,
         checkpoint_every: Optional[int] = None,
         checkpoint_dir: Optional[str] = None,
+        spec_deadline: Optional[float] = None,
+        sweep_deadline: Optional[float] = None,
     ) -> None:
+        if spec_deadline is not None and spec_deadline <= 0:
+            raise ValueError("spec_deadline must be positive seconds")
+        if sweep_deadline is not None and sweep_deadline <= 0:
+            raise ValueError("sweep_deadline must be positive seconds")
         self.checkpoint_every = checkpoint_every
         self.checkpoint_dir = checkpoint_dir
+        self.spec_deadline = spec_deadline
+        self.sweep_deadline = sweep_deadline
 
     def run_iter(
         self, specs: Sequence[RunSpec]
     ) -> Iterator[Tuple[int, SimResult]]:
+        import time
+
+        if self.spec_deadline is None and self.sweep_deadline is None:
+            for index, spec in enumerate(specs):
+                yield index, execute_spec(
+                    spec,
+                    checkpoint_every=self.checkpoint_every,
+                    checkpoint_dir=self.checkpoint_dir,
+                )
+            return
+        from repro.snapshot import ExecutionPreempted, execute_with_checkpoints
+
+        started = time.monotonic()
+        sweep_deadline = (
+            started + self.sweep_deadline
+            if self.sweep_deadline is not None else None
+        )
+        timed_out: List[Tuple[RunSpec, str]] = []
         for index, spec in enumerate(specs):
-            yield index, execute_spec(
-                spec,
-                checkpoint_every=self.checkpoint_every,
-                checkpoint_dir=self.checkpoint_dir,
-            )
+            now = time.monotonic()
+            if sweep_deadline is not None and now >= sweep_deadline:
+                timed_out.append((
+                    spec,
+                    f"sweep budget exhausted ({self.sweep_deadline}s)",
+                ))
+                continue
+            deadline = now + self.spec_deadline if self.spec_deadline else None
+            if sweep_deadline is not None:
+                deadline = (
+                    sweep_deadline if deadline is None
+                    else min(deadline, sweep_deadline)
+                )
+            try:
+                result = execute_with_checkpoints(
+                    spec,
+                    checkpoint_every=self.checkpoint_every,
+                    checkpoint_dir=self.checkpoint_dir,
+                    should_stop=lambda: time.monotonic() >= deadline,
+                )
+            except ExecutionPreempted as preempted:
+                if self.checkpoint_dir is not None:
+                    # The partial run is not wasted: persist the preemption
+                    # snapshot so a rerun with more budget resumes mid-spec.
+                    from repro.snapshot import checkpoint_path, save_snapshot
+
+                    try:
+                        save_snapshot(
+                            preempted.snapshot,
+                            checkpoint_path(self.checkpoint_dir, spec),
+                        )
+                    except OSError:
+                        pass  # disk trouble costs resume granularity only
+                if (
+                    sweep_deadline is not None
+                    and time.monotonic() >= sweep_deadline
+                ):
+                    reason = f"sweep budget exhausted ({self.sweep_deadline}s)"
+                else:
+                    reason = (
+                        f"spec deadline exceeded ({self.spec_deadline}s)"
+                    )
+                timed_out.append((spec, reason))
+                continue
+            yield index, result
+        if timed_out:
+            raise partial_sweep_error([], timed_out, len(specs))
 
 
 class ParallelExecutor(_ExecutorBase):

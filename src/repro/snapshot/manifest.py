@@ -8,6 +8,7 @@ Every manifest-tracked sweep owns a directory under the runs root
         manifest.json      # sweep-shaping CLI args, status, per-spec progress
         checkpoints/       # mid-spec snapshots (<spec key>.ckpt.json)
         results/           # per-spec results; doubles as the ResultCache dir
+        journal.jsonl      # broker write-ahead journal (--bind --journal runs)
 
 The manifest records the arguments that shaped the grid, so ``repro run
 --resume <run-id>`` can rebuild the *same* sweep without the user repeating
@@ -169,6 +170,19 @@ class RunManifest:
         path = self.root / "results"
         path.mkdir(parents=True, exist_ok=True)
         return path
+
+    @property
+    def journal_dir(self) -> Path:
+        """Where a journaled broker (``repro run --bind --journal``) logs.
+
+        The run directory itself: the journal is one ``journal.jsonl`` file
+        (see :data:`repro.runner.journal.JOURNAL_NAME`) next to
+        ``manifest.json``, so restarting the sweep host with ``--resume
+        --journal`` finds the previous broker's task-state log exactly where
+        the manifest lives.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        return self.root
 
     def cache_dir(self) -> str:
         """The result-cache directory this run records into.
