@@ -206,7 +206,10 @@ class BroadcastFabric:
         return pending.failed
 
     def _fail_pending(self, addr: int, sender: int) -> None:
-        for token in list(self._pending_by_addr.get(addr, set())):
+        # Tokens are monotonically assigned ints, so set order is a pure
+        # function of insertion history (no string hashing involved); sorting
+        # here would reorder pinned golden event sequences.
+        for token in list(self._pending_by_addr.get(addr, set())):  # repro: noqa[DET002]
             pending = self._pending_rmw.get(token)
             if pending is None or pending.node == sender:
                 continue

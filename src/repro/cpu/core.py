@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.config import CoreConfig
+from repro.errors import WorkloadError
 
 
 @dataclass
@@ -33,7 +34,7 @@ class Core:
         length is charged as-is and the instruction count is derived.
         """
         if cycles < 0:
-            raise ValueError("compute cycles must be non-negative")
+            raise WorkloadError("compute cycles must be non-negative")
         self.busy_cycles += cycles
         self.instructions_retired += cycles * self.config.issue_width
         return cycles

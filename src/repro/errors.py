@@ -116,6 +116,15 @@ class SnapshotError(ReproError):
     """
 
 
+class LintError(ReproError):
+    """The static-analysis engine was misconfigured or fed invalid input.
+
+    Raised for unknown rule ids in ``--select``/``--ignore``, unreadable or
+    syntactically invalid source files, and malformed baseline files.  Lint
+    *findings* are not errors — they are reported and drive the exit code.
+    """
+
+
 class AnalysisError(ReproError):
     """A metric computation or MetricFrame operation received invalid input.
 

@@ -1,0 +1,121 @@
+"""Implementation of the ``repro lint`` subcommand.
+
+Kept out of :mod:`repro.runner.cli` so the (fast-import) CLI front end only
+pays for the lint machinery when the subcommand actually runs.
+
+Exit codes follow the CLI convention: 0 clean (or every finding suppressed /
+baselined), 1 new findings, 2 usage or input errors (via :class:`LintError`
+-> :class:`ReproError` handling in the front end).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO
+
+from repro.errors import LintError
+from repro.lint.engine import (
+    Finding,
+    LintEngine,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.rules import default_rules
+
+
+def _default_paths() -> List[str]:
+    """Lint the installed ``repro`` package when no paths are given."""
+    import repro
+
+    package_dir = Path(repro.__file__).parent
+    return [str(package_dir)]
+
+
+def _split_rule_list(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _format_text(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    baseline_path: Optional[str],
+    stream: TextIO,
+) -> None:
+    last_hint = None
+    for finding in new:
+        stream.write(finding.format_text() + "\n")
+        if finding.fix_hint and finding.fix_hint != last_hint:
+            stream.write(f"    hint: {finding.fix_hint}\n")
+        last_hint = finding.fix_hint
+    if new:
+        summary = f"{len(new)} finding{'s' if len(new) != 1 else ''}"
+    else:
+        summary = "clean"
+    if baselined:
+        summary += f" ({len(baselined)} grandfathered by {baseline_path})"
+    stream.write(summary + "\n")
+
+
+def _format_json(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    rules: Sequence[str],
+    stream: TextIO,
+) -> None:
+    counts: dict = {}
+    for finding in new:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {
+        "version": 1,
+        "rules": list(rules),
+        "findings": [finding.to_dict() for finding in new],
+        "counts": counts,
+        "total": len(new),
+        "baselined": len(baselined),
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+def run_lint(args, stream: Optional[TextIO] = None) -> int:
+    """Entry point called by the CLI front end with the parsed namespace."""
+    out = stream if stream is not None else sys.stdout
+    engine = LintEngine(
+        default_rules(),
+        select=_split_rule_list(args.select),
+        ignore=_split_rule_list(args.ignore),
+    )
+    if getattr(args, "list_rules", False):
+        for rule in engine.rules:
+            out.write(f"{rule.id}  [{rule.scope}]  {rule.title}\n")
+        return 0
+
+    paths = list(args.paths) if args.paths else _default_paths()
+    findings = engine.run(paths)
+
+    baseline_path = getattr(args, "baseline", None)
+    if getattr(args, "write_baseline", False):
+        if baseline_path is None:
+            raise LintError("--write-baseline requires --baseline FILE")
+        write_baseline(findings, Path(baseline_path))
+        out.write(
+            f"wrote {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} to {baseline_path}\n"
+        )
+        return 0
+
+    baselined: List[Finding] = []
+    if baseline_path is not None:
+        fingerprints = load_baseline(Path(baseline_path))
+        findings, baselined = apply_baseline(findings, fingerprints)
+
+    if args.format == "json":
+        _format_json(findings, baselined, [rule.id for rule in engine.rules], out)
+    else:
+        _format_text(findings, baselined, baseline_path, out)
+    return 1 if findings else 0

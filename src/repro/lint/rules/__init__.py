@@ -1,0 +1,34 @@
+"""The rule battery for ``repro lint``."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.lint.engine import Rule
+from repro.lint.rules.contracts import Err001ErrorHierarchy, Slot001UndeclaredSlot
+from repro.lint.rules.determinism import Det001AmbientEntropy, Det002UnorderedIteration
+from repro.lint.rules.protocol import Proto001ProtocolClosure
+from repro.lint.rules.snapshots import Snap001SnapshotCompleteness
+
+
+def default_rules() -> Tuple[Rule, ...]:
+    """One fresh instance of every shipped rule, in catalog order."""
+    return (
+        Det001AmbientEntropy(),
+        Det002UnorderedIteration(),
+        Snap001SnapshotCompleteness(),
+        Proto001ProtocolClosure(),
+        Err001ErrorHierarchy(),
+        Slot001UndeclaredSlot(),
+    )
+
+
+__all__ = [
+    "default_rules",
+    "Det001AmbientEntropy",
+    "Det002UnorderedIteration",
+    "Snap001SnapshotCompleteness",
+    "Proto001ProtocolClosure",
+    "Err001ErrorHierarchy",
+    "Slot001UndeclaredSlot",
+]

@@ -1,0 +1,254 @@
+"""ERR001/SLOT001: library-wide API contracts.
+
+ERR001 enforces the :mod:`repro.errors` contract — every error the library
+raises derives from :class:`~repro.errors.ReproError` so callers can catch
+library failures without masking programming errors.  SLOT001 catches
+assignments to attributes a ``__slots__`` class never declared, which raise
+``AttributeError`` at runtime on exactly the path that exercises them.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.lint.engine import Finding, ModuleInfo, Rule, class_slots
+
+
+def _repro_error_names() -> Set[str]:
+    """Names of every class in the ReproError hierarchy, via live introspection
+    so the rule tracks :mod:`repro.errors` without a parallel hand-kept list."""
+    from repro.errors import ReproError
+
+    names: Set[str] = set()
+    stack: List[type] = [ReproError]
+    while stack:
+        cls = stack.pop()
+        if cls.__name__ in names:
+            continue
+        names.add(cls.__name__)
+        stack.extend(cls.__subclasses__())
+    return names
+
+
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name, obj in vars(builtins).items()
+    if isinstance(obj, type) and issubclass(obj, BaseException)
+)
+
+#: Builtins with a sanctioned idiomatic meaning that is *not* "library error":
+#: abstract methods, iterator/generator protocol, interpreter control flow.
+_IDIOMATIC_RAISES = frozenset(
+    {
+        "NotImplementedError",
+        "StopIteration",
+        "StopAsyncIteration",
+        "GeneratorExit",
+        "KeyboardInterrupt",
+        "SystemExit",
+    }
+)
+
+
+class Err001ErrorHierarchy(Rule):
+    """``raise`` of an exception type outside the ReproError hierarchy."""
+
+    id = "ERR001"
+    title = "raise outside the ReproError hierarchy"
+    fix_hint = (
+        "raise a ReproError subclass from repro.errors (ConfigurationError, "
+        "SimulationError, ...); for deliberate control-flow signals add "
+        "`# repro: noqa[ERR001] -- <why>`"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        allowed = _repro_error_names()
+        local_allowed, local_outside = self._local_classes(module.tree, allowed)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = self._raised_name(node.exc)
+            if name is None:
+                continue
+            if name in allowed or name in local_allowed:
+                continue
+            if name in local_outside:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"raise of {name}, defined outside the ReproError "
+                        f"hierarchy; derive it from ReproError in errors.py",
+                    )
+                )
+            elif name in _BUILTIN_EXCEPTIONS and name not in _IDIOMATIC_RAISES:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"raise of builtin {name}; library errors must derive "
+                        f"from ReproError so callers can catch them as a family",
+                    )
+                )
+        return findings
+
+    def _raised_name(self, exc: ast.expr) -> Optional[str]:
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name):
+            return exc.id
+        return None
+
+    def _local_classes(self, tree: ast.Module, allowed: Set[str]):
+        """Module-defined exception classes, split into (derives-from-allowed,
+        exception-but-outside-hierarchy).  Resolved transitively in definition
+        order; classes with unresolvable bases are ignored."""
+        local_allowed: Set[str] = set()
+        local_outside: Set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            base_names = [
+                base.id if isinstance(base, ast.Name) else base.attr
+                for base in node.bases
+                if isinstance(base, (ast.Name, ast.Attribute))
+            ]
+            if any(name in allowed or name in local_allowed for name in base_names):
+                local_allowed.add(node.name)
+            elif any(
+                name in local_outside
+                or (name in _BUILTIN_EXCEPTIONS and name not in {"Warning"})
+                for name in base_names
+            ):
+                # Warning subclasses are emitted via warnings.warn, not raised;
+                # treat them as outside only if actually raised.
+                local_outside.add(node.name)
+        return local_allowed, local_outside
+
+
+class Slot001UndeclaredSlot(Rule):
+    """Assignment to ``self.X`` not declared in the class's ``__slots__``."""
+
+    id = "SLOT001"
+    title = "assignment to an undeclared __slots__ attribute"
+    fix_hint = "declare the attribute in __slots__ (slotted instances have no __dict__)"
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        slots_by_class: Dict[str, Optional[List[str]]] = {}
+        class_nodes: Dict[str, ast.ClassDef] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                class_nodes[node.name] = node
+                slots_by_class[node.name] = class_slots(node)
+
+        findings: List[Finding] = []
+        for name, node in class_nodes.items():
+            writable = self._writable_names(name, class_nodes, slots_by_class)
+            if writable is None:
+                continue
+            findings.extend(self._check_class(module, node, writable))
+        return findings
+
+    def _writable_names(
+        self,
+        name: str,
+        class_nodes: Dict[str, ast.ClassDef],
+        slots_by_class: Dict[str, Optional[List[str]]],
+        _seen: Optional[Set[str]] = None,
+    ) -> Optional[Set[str]]:
+        """The full writable attribute set for a slotted class, or ``None``
+        when the class is not fully slotted (has __dict__, or an unresolvable
+        or unslotted base makes the writable surface unknowable)."""
+        seen = _seen or set()
+        if name in seen:
+            return None
+        seen.add(name)
+        slots = slots_by_class.get(name)
+        if slots is None or "__dict__" in slots:
+            return None
+        writable = set(slots)
+        node = class_nodes[name]
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                if base.id == "object":
+                    continue
+                if base.id not in class_nodes:
+                    return None
+                inherited = self._writable_names(
+                    base.id, class_nodes, slots_by_class, seen
+                )
+                if inherited is None:
+                    return None
+                writable |= inherited
+            else:
+                return None
+        return writable
+
+    def _check_class(
+        self, module: ModuleInfo, node: ast.ClassDef, writable: Set[str]
+    ) -> Iterable[Finding]:
+        allowed = set(writable) | self._descriptor_names(node)
+        findings: List[Finding] = []
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if self._is_class_or_static(item) or not item.args.args:
+                continue
+            self_name = item.args.args[0].arg
+            for inner in ast.walk(item):
+                targets: List[ast.expr] = []
+                if isinstance(inner, ast.Assign):
+                    targets = list(inner.targets)
+                elif isinstance(inner, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [inner.target]
+                for target in self._flatten(targets):
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == self_name
+                        and target.attr not in allowed
+                    ):
+                        findings.append(
+                            self.finding(
+                                module,
+                                target,
+                                f"assignment to self.{target.attr}, which is "
+                                f"not declared in {node.name}.__slots__; this "
+                                f"raises AttributeError at runtime",
+                            )
+                        )
+        return findings
+
+    def _descriptor_names(self, node: ast.ClassDef) -> Set[str]:
+        """Property names (``self.p = ...`` goes through the setter)."""
+        names: Set[str] = set()
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for decorator in item.decorator_list:
+                    if isinstance(decorator, ast.Name) and decorator.id == "property":
+                        names.add(item.name)
+                    elif isinstance(decorator, ast.Attribute) and decorator.attr in {
+                        "setter",
+                        "deleter",
+                    }:
+                        names.add(item.name)
+        return names
+
+    def _is_class_or_static(self, item: ast.AST) -> bool:
+        for decorator in getattr(item, "decorator_list", []):
+            if isinstance(decorator, ast.Name) and decorator.id in {
+                "classmethod",
+                "staticmethod",
+            }:
+                return True
+        return False
+
+    def _flatten(self, targets: List[ast.expr]) -> Iterable[ast.expr]:
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                yield from self._flatten(list(target.elts))
+            else:
+                yield target

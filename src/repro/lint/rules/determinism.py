@@ -1,0 +1,342 @@
+"""DET001/DET002: sources of nondeterminism inside sim-core code.
+
+The whole reproduction rests on one contract: a simulation is a pure function
+of (spec, seed).  Distributed sweeps, checkpoint restore, and chaos recovery
+are all verified *bit-identical* against serial runs, so any ambient entropy
+inside the simulated machine — wall-clock reads, process-global RNG, hash-
+order iteration — eventually surfaces as an unattributable golden diff.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.lint.engine import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    SCOPE_SIM_CORE,
+    dotted_name,
+)
+
+_WALL_CLOCK = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+    }
+)
+_UUID_FNS = frozenset({"uuid1", "uuid3", "uuid4"})
+_DATETIME_METHODS = frozenset({"now", "utcnow", "today"})
+_TRACKED_MODULES = frozenset({"random", "os", "time", "uuid", "datetime", "secrets"})
+
+
+class Det001AmbientEntropy(Rule):
+    """Direct use of process-global randomness or wall-clock time in sim-core."""
+
+    id = "DET001"
+    title = "ambient entropy in sim-core code"
+    scope = SCOPE_SIM_CORE
+    fix_hint = (
+        "route randomness through a named DeterministicRng stream "
+        "(machine.rng.child(...)) and time through the engine clock "
+        "(Simulator.now); host-side infrastructure belongs outside sim-core "
+        "packages"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        aliases: Dict[str, str] = {}  # local name -> real module ("random", ...)
+        direct: Dict[str, str] = {}  # local name -> qualified banned callable
+        datetime_classes: Set[str] = set()  # local aliases of datetime.datetime
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root in _TRACKED_MODULES:
+                        aliases[alias.asname or root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".", 1)[0]
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if root == "random" or root == "secrets":
+                        direct[local] = f"{root}.{alias.name}"
+                    elif root == "os" and alias.name == "urandom":
+                        direct[local] = "os.urandom"
+                    elif root == "uuid" and alias.name in _UUID_FNS:
+                        direct[local] = f"uuid.{alias.name}"
+                    elif root == "time" and alias.name in _WALL_CLOCK:
+                        direct[local] = f"time.{alias.name}"
+                    elif root == "datetime" and alias.name == "datetime":
+                        datetime_classes.add(local)
+
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            banned = self._banned_call(node.func, aliases, direct, datetime_classes)
+            if banned is not None:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"call to {banned}() in sim-core code; results would "
+                        f"no longer be a pure function of (spec, seed)",
+                    )
+                )
+        return findings
+
+    def _banned_call(
+        self,
+        func: ast.expr,
+        aliases: Dict[str, str],
+        direct: Dict[str, str],
+        datetime_classes: Set[str],
+    ) -> Optional[str]:
+        if isinstance(func, ast.Name):
+            return direct.get(func.id)
+        dotted = dotted_name(func)
+        if dotted is None or "." not in dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in datetime_classes and rest in _DATETIME_METHODS:
+            return f"datetime.{rest}"
+        real = aliases.get(head)
+        if real is None:
+            return None
+        if real == "random":
+            return f"random.{rest}"
+        if real == "secrets":
+            return f"secrets.{rest}"
+        if real == "os" and rest == "urandom":
+            return "os.urandom"
+        if real == "uuid" and rest in _UUID_FNS:
+            return f"uuid.{rest}"
+        if real == "time" and rest in _WALL_CLOCK:
+            return f"time.{rest}"
+        if real == "datetime":
+            # datetime.datetime.now / datetime.date.today
+            parts = rest.split(".")
+            if len(parts) == 2 and parts[0] in {"datetime", "date"} and parts[1] in _DATETIME_METHODS:
+                return f"datetime.{parts[0]}.{parts[1]}"
+        return None
+
+
+class Det002UnorderedIteration(Rule):
+    """Iteration over bare sets (hash order) in sim-core code.
+
+    CPython set iteration order depends on the hash function — randomized per
+    process for str/bytes — so a ``for x in some_set`` whose body schedules
+    events or accumulates stats silently breaks cross-process bit-identity.
+    Dict views are insertion-ordered (deterministic), so they are flagged only
+    inside functions that schedule events, where iteration order becomes event
+    order.
+    """
+
+    id = "DET002"
+    title = "iteration over an unordered collection in sim-core code"
+    scope = SCOPE_SIM_CORE
+    fix_hint = (
+        "wrap the iterable in sorted(...) or keep an explicitly ordered "
+        "structure (list, insertion-ordered dict); if the element order is "
+        "provably deterministic, add `# repro: noqa[DET002] -- <why>`"
+    )
+
+    _VIEW_METHODS = frozenset({"keys", "values", "items"})
+    _SET_RETURNING_METHODS = frozenset(
+        {"copy", "union", "intersection", "difference", "symmetric_difference"}
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for class_node, function in self._functions(module.tree):
+            set_attrs = self._set_attributes(class_node) if class_node else set()
+            set_locals = self._set_locals(function)
+            schedules = self._schedules_events(function)
+            for iter_node, owner in self._iteration_sites(function):
+                if self._is_set_valued(iter_node, set_locals, set_attrs):
+                    findings.append(
+                        self.finding(
+                            module,
+                            owner,
+                            "iteration over a bare set: element order depends "
+                            "on the process hash seed, not on simulation state",
+                        )
+                    )
+                elif schedules and self._is_dict_view(iter_node):
+                    findings.append(
+                        self.finding(
+                            module,
+                            owner,
+                            "iteration over a dict view in an event-scheduling "
+                            "function: iteration order becomes event order; "
+                            "sort explicitly",
+                        )
+                    )
+        return findings
+
+    # ------------------------------------------------------------ structure
+    def _functions(self, tree: ast.Module):
+        """(enclosing class or None, function) pairs, covering nesting."""
+        pairs = []
+
+        def visit(node: ast.AST, class_node: Optional[ast.ClassDef]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    visit(child, child)
+                elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    pairs.append((class_node, child))
+                    visit(child, class_node)
+                else:
+                    visit(child, class_node)
+
+        visit(tree, None)
+        return pairs
+
+    def _set_attributes(self, class_node: ast.ClassDef) -> Set[str]:
+        """Instance attributes that hold sets: assigned set expressions in any
+        method, or class-level ``X: Set[...]`` annotations (dataclass fields)."""
+        attrs: Set[str] = set()
+        for item in class_node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                if self._is_set_annotation(item.annotation):
+                    attrs.add(item.target.id)
+        for node in ast.walk(class_node):
+            if isinstance(node, ast.Assign):
+                if self._is_set_expression(node.value, set(), set()):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            attrs.add(target.attr)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target = node.target
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and (
+                        self._is_set_annotation(node.annotation)
+                        or self._is_set_expression(node.value, set(), set())
+                    )
+                ):
+                    attrs.add(target.attr)
+        return attrs
+
+    def _is_set_annotation(self, annotation: ast.expr) -> bool:
+        if isinstance(annotation, ast.Name):
+            return annotation.id in {"set", "frozenset", "Set", "FrozenSet", "MutableSet"}
+        if isinstance(annotation, ast.Subscript):
+            return self._is_set_annotation(annotation.value)
+        if isinstance(annotation, ast.Attribute):
+            return annotation.attr in {"Set", "FrozenSet", "MutableSet"}
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            head = annotation.value.split("[", 1)[0].strip()
+            return head in {"set", "frozenset", "Set", "FrozenSet", "MutableSet"}
+        return False
+
+    def _set_locals(self, function: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign) and self._is_set_expression(
+                node.value, names, set()
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if self._is_set_annotation(node.annotation):
+                    names.add(node.target.id)
+        args = getattr(function, "args", None)
+        if args is not None:
+            for arg in list(args.args) + list(args.kwonlyargs):
+                if arg.annotation is not None and self._is_set_annotation(arg.annotation):
+                    names.add(arg.arg)
+        return names
+
+    def _schedules_events(self, function: ast.AST) -> bool:
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in {"schedule", "schedule_at"}:
+                    return True
+        return False
+
+    def _iteration_sites(self, function: ast.AST):
+        """(iterable expression, node to report) pairs inside ``function``,
+        excluding nested function bodies (they are visited separately)."""
+        sites = []
+
+        def visit(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    continue
+                if isinstance(child, (ast.For, ast.AsyncFor)):
+                    sites.append((child.iter, child))
+                elif isinstance(
+                    child, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    for generator in child.generators:
+                        sites.append((generator.iter, child))
+                visit(child)
+
+        visit(function)
+        return sites
+
+    # --------------------------------------------------------------- typing
+    def _is_set_valued(
+        self, node: ast.expr, set_locals: Set[str], set_attrs: Set[str]
+    ) -> bool:
+        """Does ``node`` evaluate to a set — or to a list/tuple that merely
+        materializes a set's hash order (``list(some_set)``)?"""
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in {"list", "tuple", "iter", "reversed"} and len(node.args) == 1:
+                return self._is_set_valued(node.args[0], set_locals, set_attrs)
+        return self._is_set_expression(node, set_locals, set_attrs)
+
+    def _is_set_expression(
+        self, node: ast.expr, set_locals: Set[str], set_attrs: Set[str]
+    ) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_locals
+        if isinstance(node, ast.Attribute):
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in set_attrs
+            )
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_set_expression(
+                node.left, set_locals, set_attrs
+            ) or self._is_set_expression(node.right, set_locals, set_attrs)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+                return True
+            if isinstance(func, ast.Attribute):
+                if func.attr in self._SET_RETURNING_METHODS:
+                    return self._is_set_expression(func.value, set_locals, set_attrs)
+                if func.attr == "get" and len(node.args) == 2:
+                    return self._is_set_expression(node.args[1], set_locals, set_attrs)
+        return False
+
+    def _is_dict_view(self, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._VIEW_METHODS
+            and not node.args
+        )

@@ -1,0 +1,226 @@
+"""SNAP001: snapshot-completeness drift.
+
+Checkpoint/restore (PR 6) verifies a restored machine bit-for-bit against a
+captured *native state*; that capture is a hand-maintained list.  A new
+mutable attribute on :class:`Simulator` or :class:`Manycore` that nobody adds
+to the capture silently weakens `_verify_native` until a restore diverges in
+production.  This rule turns that drift into a lint failure at the moment the
+attribute is introduced: every ``__init__`` attribute must either be captured
+or appear in the rule's exemption table with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.lint.engine import (
+    Finding,
+    ModuleInfo,
+    ModuleWalker,
+    ProjectRule,
+    class_slots,
+    find_class,
+    find_method,
+    init_self_attributes,
+)
+
+
+def _norm(name: str) -> str:
+    return name.lstrip("_")
+
+
+class Snap001SnapshotCompleteness(ProjectRule):
+    id = "SNAP001"
+    title = "snapshot capture out of sync with machine state"
+    fix_hint = (
+        "capture the new attribute in engine.checkpoint_state() / "
+        "snapshot/execution.py:_native_state(), or exempt it in "
+        "lint/rules/snapshots.py with a reason"
+    )
+
+    #: Simulator.__init__ attributes deliberately not in checkpoint_state():
+    ENGINE_EXEMPT: Dict[str, str] = {
+        "_queue": "live callbacks (bound methods, generator frames); restore "
+        "reconstructs the queue by deterministic replay",
+        "_running": "transient run-loop flag, always False between slices",
+        "_stop": "transient stop request, always False between slices",
+        "_cancelled": "covered indirectly: pending_events captures "
+        "len(_queue) - _cancelled",
+    }
+
+    #: Manycore.__init__ attributes deliberately not in _native_state():
+    MANYCORE_EXEMPT: Dict[str, str] = {
+        "config": "validated immutable configuration; recorded in the spec",
+        "tracer": "side-channel event log, not simulation state",
+        "topology": "pure function of config.num_cores",
+        "mesh": "rebuilt by replay; externally visible state lands in stats",
+        "memory": "rebuilt by replay; externally visible state lands in stats",
+        "cores": "rebuilt by replay; externally visible state lands in stats",
+        "fabric": "rebuilt by replay; externally visible state lands in stats "
+        "and the rng tree",
+        "process_table": "rebuilt deterministically when programs respawn "
+        "during replay",
+        "scheduler": "rebuilt deterministically during replay",
+        "programs": "workload definitions; recorded in the spec",
+        "_soft_bm_next": "derived deterministically during replay",
+        "_ran": "one-shot guard flag, re-armed by replay",
+        "_events_start": "derived from the engine counters during replay",
+        "_bm_spill_base": "pure function of config",
+        "_schedule": "hot-path bound method, not state",
+        "_dispatch_table": "hot-path dispatch table, not state",
+        "_dispatch_get": "hot-path bound method, not state",
+    }
+
+    #: Flyweight slots that are not simulation state:
+    FLYWEIGHT_EXEMPT: Set[str] = {"name"}
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo], walker: ModuleWalker
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        engine = walker.find(modules, "sim/engine.py")
+        if engine is not None:
+            findings.extend(self._check_engine(engine))
+        manycore = walker.find(modules, "machine/manycore.py")
+        if manycore is not None:
+            execution = walker.find(list(modules) + [manycore], "snapshot/execution.py")
+            findings.extend(self._check_manycore(manycore, execution))
+        stats = walker.find(modules, "sim/stats.py")
+        if stats is not None:
+            findings.extend(self._check_flyweights(stats))
+        return findings
+
+    # ------------------------------------------------------------- Simulator
+    def _check_engine(self, module: ModuleInfo) -> List[Finding]:
+        simulator = find_class(module.tree, "Simulator")
+        if simulator is None:
+            return []
+        checkpoint = find_method(simulator, "checkpoint_state")
+        attrs = init_self_attributes(simulator)
+        captured = self._dict_keys(checkpoint) if checkpoint is not None else set()
+        properties = {
+            item.name
+            for item in simulator.body
+            if isinstance(item, ast.FunctionDef)
+            and any(
+                isinstance(d, ast.Name) and d.id == "property"
+                for d in item.decorator_list
+            )
+        }
+        findings: List[Finding] = []
+        captured_norm = {_norm(key) for key in captured}
+        for attr, lineno in sorted(attrs.items()):
+            if _norm(attr) in captured_norm or attr in self.ENGINE_EXEMPT:
+                continue
+            findings.append(
+                self._at(
+                    module,
+                    lineno,
+                    f"Simulator.__init__ assigns self.{attr} but "
+                    f"checkpoint_state() does not capture it; restored "
+                    f"simulations would silently lose it",
+                )
+            )
+        known_norm = {_norm(a) for a in attrs} | {_norm(p) for p in properties}
+        for key in sorted(captured):
+            if _norm(key) not in known_norm:
+                findings.append(
+                    self._at(
+                        module,
+                        checkpoint.lineno if checkpoint is not None else 0,
+                        f"checkpoint_state() captures {key!r}, which is not an "
+                        f"attribute or property of Simulator (stale capture)",
+                    )
+                )
+        return findings
+
+    # -------------------------------------------------------------- Manycore
+    def _check_manycore(
+        self, module: ModuleInfo, execution: Optional[ModuleInfo]
+    ) -> List[Finding]:
+        manycore = find_class(module.tree, "Manycore")
+        if manycore is None or execution is None:
+            return []
+        native_state = None
+        for node in ast.walk(execution.tree):
+            if isinstance(node, ast.FunctionDef) and node.name == "_native_state":
+                native_state = node
+                break
+        captured: Set[str] = set()
+        if native_state is not None:
+            for node in ast.walk(native_state):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "machine"
+                ):
+                    captured.add(node.attr)
+        findings: List[Finding] = []
+        captured_norm = {_norm(name) for name in captured}
+        for attr, lineno in sorted(init_self_attributes(manycore).items()):
+            if _norm(attr) in captured_norm or attr in self.MANYCORE_EXEMPT:
+                continue
+            findings.append(
+                self._at(
+                    module,
+                    lineno,
+                    f"Manycore.__init__ assigns self.{attr} but "
+                    f"snapshot/execution.py:_native_state() does not capture "
+                    f"it; checkpoints would silently omit it",
+                )
+            )
+        return findings
+
+    # ------------------------------------------------------------ flyweights
+    def _check_flyweights(self, module: ModuleInfo) -> List[Finding]:
+        registry = find_class(module.tree, "StatsRegistry")
+        to_dict = find_method(registry, "to_dict") if registry is not None else None
+        if to_dict is None:
+            return []
+        serialized = {
+            node.attr for node in ast.walk(to_dict) if isinstance(node, ast.Attribute)
+        }
+        findings: List[Finding] = []
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            slots = class_slots(node)
+            if not slots:
+                continue
+            for slot in slots:
+                if slot in self.FLYWEIGHT_EXEMPT or slot.startswith("_"):
+                    continue  # identity / derived caches, rebuilt on demand
+                if slot not in serialized:
+                    findings.append(
+                        self._at(
+                            module,
+                            node.lineno,
+                            f"{node.name}.__slots__ declares {slot!r} but "
+                            f"StatsRegistry.to_dict() never serializes it; "
+                            f"snapshots would silently drop it",
+                        )
+                    )
+        return findings
+
+    # --------------------------------------------------------------- helpers
+    def _dict_keys(self, function: ast.FunctionDef) -> Set[str]:
+        keys: Set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        keys.add(key.value)
+        return keys
+
+    def _at(self, module: ModuleInfo, lineno: int, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.display,
+            rel=module.rel,
+            line=lineno,
+            column=1,
+            message=message,
+            severity=self.severity,
+            fix_hint=self.fix_hint,
+        )

@@ -10,13 +10,15 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List, Optional
 
+from repro.errors import ConfigurationError
+
 
 class CacheArray:
     """A tag array with ``num_sets`` sets of ``associativity`` ways (LRU)."""
 
     def __init__(self, num_sets: int, associativity: int, line_bytes: int, name: str = "cache") -> None:
         if num_sets <= 0 or associativity <= 0:
-            raise ValueError("cache geometry must be positive")
+            raise ConfigurationError("cache geometry must be positive")
         self.num_sets = num_sets
         self.associativity = associativity
         self.line_bytes = line_bytes

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from repro.errors import ToneBarrierError
+from repro.errors import ConfigurationError, ToneBarrierError
 
 
 @dataclass
@@ -43,7 +43,7 @@ class Scheduler:
         if core_id is None:
             core_id = min(self._core_load, key=lambda c: (self._core_load[c], c))
         if not 0 <= core_id < self.num_cores:
-            raise ValueError(f"core {core_id} out of range")
+            raise ConfigurationError(f"core {core_id} out of range")
         placement = ThreadPlacement(thread_id=thread_id, core_id=core_id, pid=pid)
         self._placements[thread_id] = placement
         self._core_load[core_id] += 1
@@ -92,7 +92,7 @@ class Scheduler:
                 f"{sorted(placement.tone_barriers)} and cannot migrate"
             )
         if not 0 <= new_core < self.num_cores:
-            raise ValueError(f"core {new_core} out of range")
+            raise ConfigurationError(f"core {new_core} out of range")
         self._core_load[placement.core_id] -= 1
         self._core_load[new_core] += 1
         placement.core_id = new_core

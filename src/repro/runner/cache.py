@@ -137,6 +137,8 @@ class ResultCache:
     def _sweep_tmp(self, max_age: Optional[float]) -> int:
         """Delete ``*.tmp`` files older than ``max_age`` seconds (None = all)."""
         removed = 0
+        # Host-side wall clock for cache-file staleness; runner/ is outside
+        # the sim-core packages, so DET001's path scope exempts it.
         now = time.time()
         for entry in self.path.glob("*.tmp"):
             if max_age is not None:

@@ -94,6 +94,8 @@ class ChaosSchedule:
                     f"unknown chaos kill target {target!r}; "
                     f"choices: {list(KILL_TARGETS)}"
                 )
+        # Seeded host-side RNG for reproducible kill schedules; runner/ is
+        # outside the sim-core packages, so DET001's path scope exempts it.
         rng = random.Random(seed)
         kills = tuple(
             KillEvent(
@@ -181,7 +183,7 @@ def run_embedded_drill(
         def pump() -> None:
             def poll() -> None:
                 if broker.closed():
-                    raise _BrokerGone
+                    raise _BrokerGone  # repro: noqa[ERR001] -- internal drill signal, caught in this function; never escapes the module
 
             try:
                 for kind, position, payload in broker.events(

@@ -663,6 +663,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit JSON instead of text"
     )
 
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="statically check the determinism & contract rules (DET/SNAP/PROTO/ERR/SLOT)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
+    )
+    lint_parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint_parser.add_argument(
+        "--ignore", default=None, metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of grandfathered findings (see LINT_BASELINE.json)",
+    )
+    lint_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+
     profile_parser = subparsers.add_parser(
         "profile",
         help="time a pinned sweep, write BENCH_<experiment>.json, optionally gate on a baseline",
@@ -1167,6 +1199,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "lint":
+            from repro.lint.cli import run_lint
+
+            return run_lint(args)
         return _cmd_run(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -851,7 +851,7 @@ def _handshake(
         )
     try:
         if welcome is None or welcome["type"] != "welcome":
-            raise KeyError("welcome")
+            raise KeyError("welcome")  # repro: noqa[ERR001] -- control flow: caught two lines down and converted to ExecutionError
         lease = float(welcome.get("lease_seconds") or DEFAULT_LEASE_SECONDS)
     except (KeyError, TypeError, ValueError):
         sock.close()
@@ -1056,7 +1056,7 @@ def run_worker(
                     time.sleep(float(reply.get("delay", 0.1)))
                     continue
                 if reply_type != "task":
-                    raise KeyError(reply_type)
+                    raise KeyError(reply_type)  # repro: noqa[ERR001] -- control flow: caught by the reply loop and retried as a protocol error
                 task_id = int(reply["task"])
                 spec_payload = reply["payload"]
                 task_every = reply.get("checkpoint_every", checkpoint_every)

@@ -16,7 +16,12 @@ import concurrent.futures
 import os
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import ExecutionError, PartialSweepError, WorkloadError
+from repro.errors import (
+    ConfigurationError,
+    ExecutionError,
+    PartialSweepError,
+    WorkloadError,
+)
 from repro.machine.results import SimResult
 from repro.runner.spec import RunSpec
 
@@ -238,9 +243,9 @@ class SerialExecutor(_ExecutorBase):
         sweep_deadline: Optional[float] = None,
     ) -> None:
         if spec_deadline is not None and spec_deadline <= 0:
-            raise ValueError("spec_deadline must be positive seconds")
+            raise ConfigurationError("spec_deadline must be positive seconds")
         if sweep_deadline is not None and sweep_deadline <= 0:
-            raise ValueError("sweep_deadline must be positive seconds")
+            raise ConfigurationError("sweep_deadline must be positive seconds")
         self.checkpoint_every = checkpoint_every
         self.checkpoint_dir = checkpoint_dir
         self.spec_deadline = spec_deadline
@@ -341,7 +346,7 @@ class ParallelExecutor(_ExecutorBase):
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         if max_workers is not None and max_workers < 1:
-            raise ValueError("max_workers must be at least 1")
+            raise ConfigurationError("max_workers must be at least 1")
         self.max_workers = max_workers or os.cpu_count() or 1
 
     def run_iter(

@@ -161,7 +161,9 @@ class BrokerJournal:
             try:
                 record = json.loads(line)
                 if not isinstance(record, dict):
-                    raise ValueError("journal records are JSON objects")
+                    raise ValueError(  # repro: noqa[ERR001] -- control flow: merges with json.loads failures in the except below, which classifies torn tail vs corruption
+                        "journal records are JSON objects"
+                    )
             except ValueError as error:
                 if number == len(raw_lines):
                     warnings.warn(

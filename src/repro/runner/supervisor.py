@@ -56,6 +56,9 @@ def backoff_delays(
     broker must not fire in lockstep, or every retry round is a thundering
     herd against a service that may be mid-restart.
     """
+    # Unseeded host-side jitter is deliberate (distinct workers must not
+    # retry in lockstep); runner/ is outside the sim-core packages, so
+    # DET001's path scope exempts it.
     return _BackoffIterator(base, cap, rng or random.Random())
 
 

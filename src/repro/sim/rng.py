@@ -35,7 +35,9 @@ class DeterministicRng:
     def __init__(self, root_seed: int, name: str) -> None:
         self.root_seed = int(root_seed)
         self.name = name
-        self._random = random.Random(_derive_seed(self.root_seed, name))
+        self._random = random.Random(  # repro: noqa[DET001] -- this IS the determinism boundary: seeded from the sha256-derived stream name, never from ambient entropy
+            _derive_seed(self.root_seed, name)
+        )
         self._children: List["DeterministicRng"] = []
 
     def child(self, name: str) -> "DeterministicRng":

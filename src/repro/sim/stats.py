@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.errors import AnalysisError, SimulationError
+
 
 class Counter:
     """A monotonically increasing named counter."""
@@ -105,7 +107,7 @@ class UtilizationTracker:
 
     def add_busy(self, cycles: int) -> None:
         if cycles < 0:
-            raise ValueError("busy cycles must be non-negative")
+            raise SimulationError("busy cycles must be non-negative")
         self.busy_cycles += cycles
         self.busy_intervals += 1
 
@@ -222,7 +224,7 @@ def geometric_mean(values: List[float]) -> float:
     product = 1.0
     for value in values:
         if value <= 0:
-            raise ValueError("geometric mean requires positive values")
+            raise AnalysisError("geometric mean requires positive values")
         product *= value
     return product ** (1.0 / len(values))
 

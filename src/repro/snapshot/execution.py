@@ -231,7 +231,7 @@ class SpecExecution:
         interval = checkpoint_every or STOP_CHECK_EVENTS
         while not self.complete():
             if should_stop is not None and should_stop():
-                raise ExecutionPreempted(self.capture())
+                raise ExecutionPreempted(self.capture())  # repro: noqa[ERR001] -- not an error: a control-flow signal carrying the final snapshot (see class docstring)
             fired = self.advance(interval)
             if fired == 0:
                 break  # event budget exhausted; result() reports the deadlock

@@ -53,6 +53,9 @@ def runs_root(runs_dir: Optional[Union[str, Path]] = None) -> Path:
 
 def new_run_id() -> str:
     """A sortable, collision-resistant run id (timestamp + random suffix)."""
+    # Host-side entropy for run-id uniqueness, never simulation state;
+    # snapshot/ is outside the sim-core packages, so DET001's path scope
+    # exempts it.
     stamp = time.strftime("%Y%m%d-%H%M%S")
     return f"{stamp}-{os.urandom(3).hex()}"
 

@@ -19,7 +19,7 @@ from abc import ABC, abstractmethod
 from typing import Dict, Generator, List
 
 from repro.cpu.thread import ThreadContext
-from repro.errors import WorkloadError
+from repro.errors import SimulationError, WorkloadError
 from repro.isa.operations import (
     AtomicOp,
     BmRmw,
@@ -136,7 +136,7 @@ class WirelessBarrier(Barrier):
                 old = result.old_value
                 break
         if old is None:
-            raise RuntimeError("wireless barrier fetch&inc exceeded retry bound")
+            raise SimulationError("wireless barrier fetch&inc exceeded retry bound")
         if old == self.num_threads - 1:
             yield BmStore(self.count_addr, 0)
             yield BmStore(self.release_addr, sense)

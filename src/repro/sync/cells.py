@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 from typing import Callable, Generator, Tuple
 
 from repro.cpu.thread import ThreadContext
+from repro.errors import SimulationError
 from repro.isa.operations import (
     AtomicOp,
     BmLoad,
@@ -104,7 +105,7 @@ class BroadcastCell(AtomicCell):
             if result.afb:
                 continue
             return result.success, result.old_value
-        raise RuntimeError(f"BM CAS on address {self.addr} exceeded retry bound")
+        raise SimulationError(f"BM CAS on address {self.addr} exceeded retry bound")
 
     def fetch_add(self, ctx: ThreadContext, delta: int = 1) -> Generator:
         for _ in range(self.MAX_RETRIES):
@@ -112,7 +113,7 @@ class BroadcastCell(AtomicCell):
             if result.afb:
                 continue
             return result.old_value
-        raise RuntimeError(f"BM fetch&add on address {self.addr} exceeded retry bound")
+        raise SimulationError(f"BM fetch&add on address {self.addr} exceeded retry bound")
 
     def wait_until(self, ctx: ThreadContext, predicate: Callable[[int], bool]) -> Generator:
         value = yield BmWaitUntil(self.addr, predicate)

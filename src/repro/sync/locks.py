@@ -16,6 +16,7 @@ from abc import ABC, abstractmethod
 from typing import Callable, Dict, Generator, Tuple
 
 from repro.cpu.thread import ThreadContext
+from repro.errors import SimulationError
 from repro.isa.operations import (
     AtomicOp,
     BmRmw,
@@ -129,7 +130,7 @@ class WirelessLock(Lock):
                 return
             # Lock held: spin on the local BM replica (no wireless traffic).
             yield BmWaitUntil(self.bm_addr, lambda value: value == 0)
-        raise RuntimeError(f"wireless lock at BM address {self.bm_addr} exceeded retry bound")
+        raise SimulationError(f"wireless lock at BM address {self.bm_addr} exceeded retry bound")
 
     def release(self, ctx: ThreadContext) -> Generator:
         yield BmStore(self.bm_addr, 0)

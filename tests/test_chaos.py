@@ -256,9 +256,9 @@ class TestDeadlines:
         assert Path(checkpoint_path(str(tmp_path), slow)).exists()
 
     def test_serial_rejects_non_positive_deadlines(self):
-        with pytest.raises(ValueError, match="spec_deadline"):
+        with pytest.raises(ConfigurationError, match="spec_deadline"):
             SerialExecutor(spec_deadline=0.0)
-        with pytest.raises(ValueError, match="sweep_deadline"):
+        with pytest.raises(ConfigurationError, match="sweep_deadline"):
             SerialExecutor(sweep_deadline=-1.0)
 
     def test_distributed_spec_deadline_degrades_gracefully(self):

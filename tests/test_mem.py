@@ -3,6 +3,7 @@
 import pytest
 
 from repro.config import CacheConfig, MemoryConfig, default_machine_config
+from repro.errors import ConfigurationError
 from repro.isa.operations import RmwKind
 from repro.mem.address import AddressMap
 from repro.mem.cache import CacheArray
@@ -84,7 +85,7 @@ class TestCacheArray:
         assert cache.hit_rate == 0.5
 
     def test_invalid_geometry_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             CacheArray(num_sets=0, associativity=2, line_bytes=64)
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ReproError, ToneBarrierError
+from repro.errors import ConfigurationError, ReproError, ToneBarrierError
 from repro.osmodel.process import ProcessTable
 from repro.osmodel.scheduler import Scheduler
 
@@ -61,7 +61,7 @@ class TestScheduler:
 
     def test_out_of_range_core_rejected(self):
         scheduler = Scheduler(num_cores=2)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             scheduler.place(0, pid=1, core_id=7)
 
     def test_preempt_and_resume(self):
@@ -108,5 +108,5 @@ class TestScheduler:
     def test_migrate_to_invalid_core_rejected(self):
         scheduler = Scheduler(num_cores=2)
         scheduler.place(0, pid=1)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             scheduler.migrate(0, 9)

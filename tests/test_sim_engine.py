@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import AnalysisError, SimulationError
 from repro.sim.engine import Simulator
 from repro.sim.process import SimProcess, Timeout, WaitCondition
 from repro.sim.rng import DeterministicRng
@@ -368,7 +368,7 @@ class TestStats:
         assert tracker.utilization(0) == 0.0
 
     def test_utilization_rejects_negative(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             UtilizationTracker("u").add_busy(-1)
 
     def test_registry_creates_and_reuses(self, stats):
@@ -396,7 +396,7 @@ class TestStats:
     def test_geometric_mean(self):
         assert geometric_mean([1, 4]) == pytest.approx(2.0)
         assert geometric_mean([]) == 0.0
-        with pytest.raises(ValueError):
+        with pytest.raises(AnalysisError):
             geometric_mean([1.0, 0.0])
 
     def test_arithmetic_mean(self):
