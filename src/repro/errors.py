@@ -105,6 +105,18 @@ class JournalError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The sweep service (``repro serve``) or its HTTP client failed.
+
+    Raised by :class:`~repro.runner.service_client.ServiceClient` for
+    transport failures and non-2xx API replies (the server's ``error``
+    detail is included verbatim), and by the service layer for requests
+    that cannot be honored — unknown job ids, submissions to a terminal
+    job, malformed SweepSpec payloads — which the HTTP plane maps to
+    4xx status codes.
+    """
+
+
 class SnapshotError(ReproError):
     """A checkpoint could not be captured, validated, or restored.
 

@@ -9,12 +9,22 @@ loses data in production.  This rule extracts both vocabularies from the AST
 and flags any kind that is sent-but-never-handled or journaled-but-never-
 replayed.
 
-Side attribution: dict literals built *inside* ``class Broker`` are
-broker-sent (must be compared somewhere outside the class — the worker
+Side attribution: dict literals built *inside* a broker-side class
+(``Broker``, or the sweep service's ``ServiceBroker``/``JobStore``) are
+broker-sent (must be compared somewhere outside those classes — the worker
 functions); literals built outside are worker-sent (must be compared inside
-``class Broker``).  Journal replay handling counts only equality comparisons
-in ``runner/journal.py``, so a deleted ``elif kind == KIND_X`` aggregation
+a broker-side class).  Both vocabularies are aggregated across
+``runner/distributed.py`` *and* every ``service/`` module, because the
+service daemon speaks the same wire protocol and appends to the same
+journal format — a service-only message (``reject``) handled only in the
+worker's handshake, or a service-only journal kind (``job-submitted``)
+replayed only by ``ServiceJournal``, closes the vocabulary across module
+boundaries.  Journal replay handling counts only equality comparisons in
+``runner/journal.py``, so a deleted ``elif kind == KIND_X`` aggregation
 branch is caught even while ``_KNOWN_KINDS`` still lists the kind.
+
+The service's HTTP payloads deliberately stay out of this vocabulary: they
+tag with ``state``, never ``type``/``kind``.
 """
 
 from __future__ import annotations
@@ -40,7 +50,9 @@ class Proto001ProtocolClosure(ProjectRule):
         "reply loop / journal replay), or remove the dead sender"
     )
 
-    BROKER_CLASS = "Broker"
+    #: Classes whose dict literals count as broker-sent: the single-sweep
+    #: broker plus the sweep service's two broker-side halves.
+    BROKER_CLASSES = ("Broker", "ServiceBroker", "JobStore")
 
     def check_project(
         self, modules: Sequence[ModuleInfo], walker: ModuleWalker
@@ -48,56 +60,67 @@ class Proto001ProtocolClosure(ProjectRule):
         distributed = walker.find(modules, "runner/distributed.py")
         if distributed is None:
             return []
+        wire_modules = [distributed] + [
+            module
+            for module in modules
+            if module is not distributed
+            and (module.rel.startswith("service/") or "/service/" in module.rel)
+        ]
         findings: List[Finding] = []
-        findings.extend(self._check_wire(distributed))
+        findings.extend(self._check_wire(wire_modules))
         journal = walker.find(list(modules) + [distributed], "runner/journal.py")
-        findings.extend(self._check_journal(distributed, journal))
+        findings.extend(self._check_journal(wire_modules, journal))
         return findings
 
     # ------------------------------------------------------------- wire kinds
-    def _check_wire(self, module: ModuleInfo) -> List[Finding]:
-        env = module_string_env(module.tree)
-        sent = self._tagged_dicts(module.tree, "type")
-        compared = self._compared_strings(module.tree, env)
+    def _check_wire(self, modules: Sequence[ModuleInfo]) -> List[Finding]:
+        broker_sent: Dict[str, Tuple[ModuleInfo, int]] = {}
+        worker_sent: Dict[str, Tuple[ModuleInfo, int]] = {}
+        handled_in_broker: Set[str] = set()
+        handled_outside: Set[str] = set()
+        for module in modules:
+            env = module_string_env(module.tree)
+            sent = self._tagged_dicts(module.tree, "type")
+            for (kind, in_broker), line in sent.items():
+                side = broker_sent if in_broker else worker_sent
+                side.setdefault(kind, (module, line))
+            for kind, in_broker in self._compared_strings(module.tree, env):
+                (handled_in_broker if in_broker else handled_outside).add(kind)
 
-        broker_sent = {k: line for (k, in_broker), line in sent.items() if in_broker}
-        worker_sent = {k: line for (k, in_broker), line in sent.items() if not in_broker}
-        handled_in_broker = {k for k, in_broker in compared if in_broker}
-        handled_outside = {k for k, in_broker in compared if not in_broker}
-
+        classes = "/".join(self.BROKER_CLASSES)
         findings: List[Finding] = []
         for kind in sorted(set(worker_sent) - handled_in_broker):
+            module, line = worker_sent[kind]
             findings.append(
                 self._at(
                     module,
-                    worker_sent[kind],
+                    line,
                     f"message kind {kind!r} is sent by workers but the broker "
-                    f"never handles it (no comparison inside class "
-                    f"{self.BROKER_CLASS})",
+                    f"never handles it (no comparison inside class {classes})",
                 )
             )
         for kind in sorted(set(broker_sent) - handled_outside):
+            module, line = broker_sent[kind]
             findings.append(
                 self._at(
                     module,
-                    broker_sent[kind],
+                    line,
                     f"message kind {kind!r} is sent by the broker but workers "
-                    f"never handle it (no comparison outside class "
-                    f"{self.BROKER_CLASS})",
+                    f"never handle it (no comparison outside class {classes})",
                 )
             )
         return findings
 
     # ---------------------------------------------------------- journal kinds
     def _check_journal(
-        self, distributed: ModuleInfo, journal: Optional[ModuleInfo]
+        self, modules: Sequence[ModuleInfo], journal: Optional[ModuleInfo]
     ) -> List[Finding]:
-        journaled = {
-            kind: line
+        journaled: Dict[str, Tuple[ModuleInfo, int]] = {}
+        for module in modules:
             for (kind, _in_broker), line in self._tagged_dicts(
-                distributed.tree, "kind"
-            ).items()
-        }
+                module.tree, "kind"
+            ).items():
+                journaled.setdefault(kind, (module, line))
         if not journaled or journal is None:
             return []
         env = module_string_env(journal.tree)
@@ -111,10 +134,11 @@ class Proto001ProtocolClosure(ProjectRule):
                 replayed.update(self._resolve(expr, env))
         findings: List[Finding] = []
         for kind in sorted(set(journaled) - replayed):
+            module, line = journaled[kind]
             findings.append(
                 self._at(
-                    distributed,
-                    journaled[kind],
+                    module,
+                    line,
                     f"journal record kind {kind!r} is written by the broker "
                     f"but runner/journal.py replay never aggregates it "
                     f"(no equality comparison)",
@@ -134,7 +158,7 @@ class Proto001ProtocolClosure(ProjectRule):
             for child in ast.iter_child_nodes(node):
                 child_in_broker = in_broker
                 if isinstance(child, ast.ClassDef):
-                    child_in_broker = child.name == self.BROKER_CLASS
+                    child_in_broker = child.name in self.BROKER_CLASSES
                 elif isinstance(child, ast.Dict):
                     for key, value in zip(child.keys, child.values):
                         if (
@@ -160,7 +184,7 @@ class Proto001ProtocolClosure(ProjectRule):
             for child in ast.iter_child_nodes(node):
                 child_in_broker = in_broker
                 if isinstance(child, ast.ClassDef):
-                    child_in_broker = child.name == self.BROKER_CLASS
+                    child_in_broker = child.name in self.BROKER_CLASSES
                 elif isinstance(child, ast.Compare):
                     for expr in [child.left] + list(child.comparators):
                         for literal in self._resolve(expr, env):

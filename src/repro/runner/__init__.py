@@ -26,7 +26,13 @@ from repro.runner.executor import (
     backoff_variant,
     execute_spec,
 )
-from repro.runner.journal import BrokerJournal, JournalWarning, TaskReplay
+from repro.runner.journal import (
+    BrokerJournal,
+    JournalWarning,
+    ServiceJournal,
+    TaskReplay,
+)
+from repro.runner.service_client import ServiceClient, ServiceExecutor
 from repro.runner.supervisor import WorkerSupervisor, backoff_delays
 from repro.runner.registry import (
     REGISTRY,
@@ -57,7 +63,10 @@ __all__ = [
     "Broker",
     "BrokerJournal",
     "JournalWarning",
+    "ServiceJournal",
     "TaskReplay",
+    "ServiceClient",
+    "ServiceExecutor",
     "LocalCluster",
     "WorkerSupervisor",
     "backoff_delays",

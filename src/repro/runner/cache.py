@@ -14,7 +14,7 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Set, Union
 
 from repro.machine.results import SimResult
 from repro.runner.spec import RunSpec
@@ -49,6 +49,21 @@ class ResultCache:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.path.glob("*.json"))
+
+    def contains(self, key: str) -> bool:
+        """Fast-path presence check by spec *key* — one stat, no body read.
+
+        Purely an existence test: a corrupt or stale-version entry still
+        "contains" until the eventual :meth:`get` evicts it.  That is the
+        contract the sweep service's broker-side short-circuit relies on —
+        it always follows a positive ``contains`` with a ``get``, so dead
+        entries fall through to normal scheduling instead of being served.
+        """
+        return (self.path / f"{key}.json").is_file()
+
+    def keys(self) -> Set[str]:
+        """Spec keys of every entry currently on disk (no bodies read)."""
+        return {entry.stem for entry in self.path.glob("*.json")}
 
     # ------------------------------------------------------------ get / put
     def get(self, spec: RunSpec) -> Optional[SimResult]:

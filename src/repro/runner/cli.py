@@ -25,6 +25,10 @@
     python -m repro snapshot save --workload tightloop --param iterations=100 --events 100000
     python -m repro snapshot restore <spec-key>.snapshot.json
     python -m repro snapshot inspect <spec-key>.snapshot.json
+    python -m repro serve --bind 0.0.0.0:7787 --http 0.0.0.0:7788 --journal /var/lib/wisync --cache /var/lib/wisync-cache
+    python -m repro run fig7 --quick --submit http://sweephost:7788
+    python -m repro jobs list http://sweephost:7788
+    python -m repro jobs cancel http://sweephost:7788 job-0003-9f2c1a
 
 ``run`` reports how many grid points were freshly simulated versus served
 from the cache, so a repeated invocation with ``--cache`` visibly performs
@@ -59,6 +63,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -475,6 +480,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-manifest", action="store_true",
         help="do not record a resumable run manifest for this sweep",
     )
+    run_parser.add_argument(
+        "--submit", default=None, metavar="URL",
+        help="submit the sweep to a persistent 'repro serve' daemon at URL "
+             "instead of executing locally; results flow back through the "
+             "normal cache/manifest path, bit-identical to a local run",
+    )
+    run_parser.add_argument(
+        "--job-name", default=None, metavar="NAME",
+        help="job name shown by 'repro jobs list' (--submit only; "
+             "default: the sweep's own name)",
+    )
+    run_parser.add_argument(
+        "--priority", type=int, default=1, metavar="N",
+        help="fair-share weight on the service, >= 1: a priority-3 job gets "
+             "~3x the worker slots of a priority-1 job (--submit only)",
+    )
+    run_parser.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="service polling interval while waiting on a submitted job "
+             "(--submit only; default 0.5)",
+    )
+    run_parser.add_argument(
+        "--token", default=os.environ.get("REPRO_SERVICE_TOKEN"),
+        metavar="TOKEN",
+        help="shared service auth token (--submit only; "
+             "default: $REPRO_SERVICE_TOKEN)",
+    )
 
     report_parser = subparsers.add_parser(
         "report",
@@ -549,6 +581,12 @@ def build_parser() -> argparse.ArgumentParser:
              "with jittered backoff for up to SECONDS before draining "
              "(default: drain immediately; use with journaled brokers)",
     )
+    worker_parser.add_argument(
+        "--token", default=os.environ.get("REPRO_SERVICE_TOKEN"),
+        metavar="TOKEN",
+        help="shared auth token when joining a 'repro serve' daemon "
+             "(default: $REPRO_SERVICE_TOKEN)",
+    )
 
     workers_parser = subparsers.add_parser(
         "workers",
@@ -585,6 +623,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="consecutive rapid failures before a slot's circuit breaker "
              "opens and the pool reports the host sick (default 3)",
     )
+    workers_parser.add_argument(
+        "--token", default=os.environ.get("REPRO_SERVICE_TOKEN"),
+        metavar="TOKEN",
+        help="shared auth token when joining a 'repro serve' daemon "
+             "(default: $REPRO_SERVICE_TOKEN)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the persistent multi-tenant sweep service: named job "
+             "queues, fair-share scheduling, HTTP submit-and-poll API",
+    )
+    serve_parser.add_argument(
+        "--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="worker TCP plane bind address ('repro worker --connect' "
+             "processes join here; default 127.0.0.1 on an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--http", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="HTTP/JSON API bind address (clients submit and poll here; "
+             "default 127.0.0.1 on an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="write-ahead journal directory: a SIGKILL'd daemon restarted "
+             "on the same directory replays it and resumes every live job",
+    )
+    serve_parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="service-side result cache: a submitted spec already cached is "
+             "answered immediately without reaching any worker",
+    )
+    serve_parser.add_argument(
+        "--token", default=os.environ.get("REPRO_SERVICE_TOKEN"),
+        metavar="TOKEN",
+        help="require this shared token on both the HTTP and worker planes "
+             "(default: $REPRO_SERVICE_TOKEN; unset = open)",
+    )
+    serve_parser.add_argument(
+        "--lease-seconds", type=float, default=None, metavar="SECONDS",
+        help="task lease duration before a silent worker forfeits its spec",
+    )
+    serve_parser.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="attempts per spec before the service marks it failed",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="EVENTS",
+        help="ask workers to checkpoint in-flight simulations every N events "
+             "(requeued specs then resume mid-spec on another worker)",
+    )
+
+    jobs_parser = subparsers.add_parser(
+        "jobs", help="inspect or cancel jobs on a 'repro serve' daemon"
+    )
+    jobs_sub = jobs_parser.add_subparsers(dest="jobs_command", required=True)
+
+    def add_jobs_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("url", metavar="URL", help="service HTTP API url")
+        parser.add_argument(
+            "--token", default=os.environ.get("REPRO_SERVICE_TOKEN"),
+            metavar="TOKEN",
+            help="shared service auth token (default: $REPRO_SERVICE_TOKEN)",
+        )
+        parser.add_argument(
+            "--json", action="store_true", help="emit JSON instead of text"
+        )
+
+    jobs_list = jobs_sub.add_parser(
+        "list", help="list every job with state and progress"
+    )
+    add_jobs_arguments(jobs_list)
+    jobs_show = jobs_sub.add_parser(
+        "show", help="show one job's summary and per-spec progress"
+    )
+    add_jobs_arguments(jobs_show)
+    jobs_show.add_argument("job", metavar="JOB", help="job id")
+    jobs_cancel = jobs_sub.add_parser(
+        "cancel",
+        help="cancel a job: unassigned specs are dropped, leased specs are "
+             "released back to their workers' checkpoint/release path",
+    )
+    add_jobs_arguments(jobs_cancel)
+    jobs_cancel.add_argument("job", metavar="JOB", help="job id")
 
     chaos_parser = subparsers.add_parser(
         "chaos",
@@ -808,10 +930,36 @@ def _build_executor(
 ):
     spec_deadline = getattr(args, "spec_deadline", None)
     sweep_deadline = getattr(args, "sweep_deadline", None)
+    submit = getattr(args, "submit", None)
     if args.parallel < 0:
         raise ReproError(f"--parallel must be >= 0, got {args.parallel}")
     if args.distributed < 0:
         raise ReproError(f"--distributed must be >= 0, got {args.distributed}")
+    if submit:
+        if args.parallel > 0 or args.distributed > 0 or args.bind:
+            raise ReproError(
+                "--submit hands the sweep to a remote service; it is "
+                "mutually exclusive with --parallel/--distributed/--bind"
+            )
+        if checkpoint_every is not None or getattr(args, "journal", False):
+            raise ReproError(
+                "--checkpoint-every/--journal configure a local broker; the "
+                "'repro serve' daemon owns those knobs for submitted sweeps"
+            )
+        if spec_deadline or sweep_deadline:
+            raise ReproError(
+                "--spec-deadline/--sweep-deadline are not supported with "
+                "--submit; the service schedules its own workers"
+            )
+        from repro.runner.service_client import ServiceExecutor
+
+        return ServiceExecutor(
+            submit,
+            token=getattr(args, "token", None),
+            name=getattr(args, "job_name", None),
+            priority=getattr(args, "priority", 1),
+            poll_seconds=getattr(args, "poll", 0.5),
+        )
     if args.parallel > 0 and (args.distributed > 0 or args.bind):
         raise ReproError("--parallel and --distributed/--bind are mutually exclusive")
     if args.parallel > 0 and checkpoint_every is not None:
@@ -893,7 +1041,15 @@ def _build_runner(args: argparse.Namespace, manifest: Optional[Any] = None):
 
 def _print_run_summary(args: argparse.Namespace, counting, cache, elapsed: float) -> None:
     cached = cache.hits if cache is not None else 0
-    if args.distributed > 0 or args.bind:
+    if getattr(args, "submit", None):
+        mode = " (service)"
+        inner = getattr(counting.inner, "last_job", None)
+        if inner and inner.get("short_circuited"):
+            mode = (
+                f" (service, {inner['short_circuited']} answered from the "
+                f"service cache)"
+            )
+    elif args.distributed > 0 or args.bind:
         mode = f" (distributed={args.distributed})"
     elif args.parallel > 0:
         mode = f" (parallel={args.parallel})"
@@ -923,6 +1079,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             host, port,
             heartbeat=args.heartbeat, max_tasks=args.max_tasks, fault=args.fault,
             checkpoint_every=args.checkpoint_every, redial=args.redial,
+            token=args.token,
         )
     except OSError as error:
         raise ReproError(f"cannot reach broker at {args.connect}: {error}")
@@ -943,7 +1100,87 @@ def _cmd_workers(args: argparse.Namespace) -> int:
         fault=args.fault,
         checkpoint_every=args.checkpoint_every,
         max_rapid_failures=args.max_rapid_failures,
+        token=args.token,
     )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runner.distributed import (
+        DEFAULT_LEASE_SECONDS,
+        DEFAULT_MAX_ATTEMPTS,
+    )
+    from repro.service import run_service
+
+    return run_service(
+        bind=args.bind,
+        http=args.http,
+        journal_dir=args.journal,
+        cache_dir=args.cache,
+        token=args.token,
+        lease_seconds=(
+            args.lease_seconds if args.lease_seconds is not None
+            else DEFAULT_LEASE_SECONDS
+        ),
+        max_attempts=(
+            args.max_attempts if args.max_attempts is not None
+            else DEFAULT_MAX_ATTEMPTS
+        ),
+        checkpoint_every=args.checkpoint_every,
+    )
+
+
+def _format_job_line(job: Dict[str, Any]) -> str:
+    progress = f"{job['done']}/{job['total']}"
+    extras = []
+    if job.get("failed"):
+        extras.append(f"{job['failed']} failed")
+    if job.get("short_circuited"):
+        extras.append(f"{job['short_circuited']} cached")
+    suffix = f" ({', '.join(extras)})" if extras else ""
+    return (
+        f"{job['job']}  {job['state']:<9}  {progress:>9}  "
+        f"prio={job['priority']}  {job['name']}{suffix}"
+    )
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.runner.service_client import ServiceClient
+
+    client = ServiceClient(args.url, token=args.token)
+    if args.jobs_command == "list":
+        jobs = client.jobs()
+        if args.json:
+            print(json.dumps(jobs, indent=2, sort_keys=True))
+            return 0
+        if not jobs:
+            print("no jobs")
+            return 0
+        for job in jobs:
+            print(_format_job_line(job))
+        return 0
+    if args.jobs_command == "cancel":
+        cancelled = client.cancel(args.job)
+        if args.json:
+            print(json.dumps(cancelled, indent=2, sort_keys=True))
+        else:
+            print(_format_job_line(cancelled))
+        return 0
+    detail = client.job(args.job)
+    if args.json:
+        print(json.dumps(detail, indent=2, sort_keys=True))
+        return 0
+    print(_format_job_line(detail))
+    for entry in detail.get("specs", []):
+        from repro.runner.spec import RunSpec
+
+        label = RunSpec.from_dict(entry["spec"]).label()
+        cached = " (cache short-circuit)" if entry.get("cached") else ""
+        attempts = (
+            f" attempts={entry['attempts']}" if entry.get("attempts") else ""
+        )
+        print(f"  [{entry['position']}] {entry['state']:<9} {label}"
+              f"{attempts}{cached}")
+    return 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -1191,6 +1428,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_worker(args)
         if args.command == "workers":
             return _cmd_workers(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "jobs":
+            return _cmd_jobs(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
         if args.command == "snapshot":

@@ -78,6 +78,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from repro.errors import ConfigurationError, ExecutionError
@@ -133,6 +134,26 @@ def _read(reader: Any) -> Optional[Dict[str, Any]]:
     if not line:
         return None
     return json.loads(line)
+
+
+def claim_worker_name(requested: str, in_use: Any) -> str:
+    """A connection-unique worker name: ``requested``, or ``requested#N``.
+
+    Two workers arriving with the same auto-generated name (cloned VMs,
+    copy-pasted ``--connect`` commands from different clients) would
+    otherwise alias in broker stats and — worse — in per-task exclusion
+    sets, letting a crashing worker's retry land right back on its
+    same-named twin.  The broker assigns the suffixed name at handshake
+    and echoes it in the welcome message; the worker adopts it for the
+    rest of the session (heartbeats, redials), so exclusions stay keyed
+    on the unique name.  Caller holds the lock guarding ``in_use``.
+    """
+    if requested not in in_use:
+        return requested
+    ordinal = 2
+    while f"{requested}#{ordinal}" in in_use:
+        ordinal += 1
+    return f"{requested}#{ordinal}"
 
 
 # ---------------------------------------------------------------------------
@@ -465,11 +486,13 @@ class Broker:
                 try:
                     kind = message.get("type")
                     if kind == "hello":
-                        worker = str(message.get("worker") or worker)
+                        requested = str(message.get("worker") or worker)
                         with self._lock:
+                            worker = claim_worker_name(requested, self._workers)
                             self._workers.add(worker)
                         _send(conn, write_lock, {
                             "type": "welcome", "lease_seconds": self.lease_seconds,
+                            "worker": worker,
                         })
                     elif kind == "next":
                         _send(conn, write_lock, self._assign(worker))
@@ -829,18 +852,25 @@ def _handshake(
     port: int,
     name: str,
     connect_timeout: float = 10.0,
-) -> Tuple[socket.socket, Any, threading.Lock, float]:
+    token: Optional[str] = None,
+) -> Tuple[socket.socket, Any, threading.Lock, float, str]:
     """Dial the broker and complete the JSON handshake as worker ``name``.
 
-    Returns ``(sock, reader, write_lock, lease_seconds)``.  Shared by the
-    initial dial and mid-sweep redials; the worker keeps one ``name`` across
-    redials so its exclusions on the broker survive the reconnect.
+    Returns ``(sock, reader, write_lock, lease_seconds, assigned_name)``.
+    Shared by the initial dial and mid-sweep redials; the worker adopts the
+    broker-assigned (collision-suffixed) name and keeps it across redials so
+    its exclusions on the broker survive the reconnect.  ``token`` is the
+    shared service secret; a token-checking broker answers a bad one with a
+    ``reject`` message, surfaced here as :class:`ExecutionError`.
     """
     sock = _connect(host, port, timeout=connect_timeout)
     write_lock = threading.Lock()
     reader = sock.makefile("r", encoding="utf-8")
+    hello: Dict[str, Any] = {"type": "hello", "worker": name}
+    if token is not None:
+        hello["token"] = token
     try:
-        _send(sock, write_lock, {"type": "hello", "worker": name})
+        _send(sock, write_lock, hello)
         welcome = _read(reader)
     except (OSError, ValueError) as error:
         # ValueError: the peer spoke, but not JSON — probably not a broker.
@@ -848,6 +878,12 @@ def _handshake(
         raise ExecutionError(
             f"broker at {host}:{port} did not complete the JSON handshake: "
             f"{describe_error(error)}"
+        )
+    if isinstance(welcome, dict) and welcome.get("type") == "reject":
+        sock.close()
+        raise ExecutionError(
+            f"broker at {host}:{port} rejected worker {name!r}: "
+            f"{welcome.get('reason') or 'unauthorized'}"
         )
     try:
         if welcome is None or welcome["type"] != "welcome":
@@ -859,7 +895,8 @@ def _handshake(
             f"broker at {host}:{port} rejected the handshake "
             f"(reply {welcome!r})"
         )
-    return sock, reader, write_lock, lease
+    assigned = str(welcome.get("worker") or name)
+    return sock, reader, write_lock, lease, assigned
 
 
 def _redial(
@@ -868,7 +905,8 @@ def _redial(
     name: str,
     redial_seconds: Optional[float],
     stop: threading.Event,
-) -> Optional[Tuple[socket.socket, Any, threading.Lock, float]]:
+    token: Optional[str] = None,
+) -> Optional[Tuple[socket.socket, Any, threading.Lock, float, str]]:
     """Try to rejoin a (journaled, restarting) broker after losing it idle.
 
     Jittered-backoff attempts until ``redial_seconds`` elapse; returns a
@@ -886,7 +924,8 @@ def _redial(
             return None
         try:
             return _handshake(
-                host, port, name, connect_timeout=min(remaining, 2.0)
+                host, port, name, connect_timeout=min(remaining, 2.0),
+                token=token,
             )
         except (OSError, ExecutionError):
             pass  # still down (or mid-restart); back off and retry
@@ -900,7 +939,7 @@ def _redial(
 def _heartbeat_loop(
     sock: socket.socket,
     write_lock: threading.Lock,
-    task_id: int,
+    task_id: Union[int, str],
     interval: float,
     stop: threading.Event,
 ) -> None:
@@ -914,7 +953,7 @@ def _heartbeat_loop(
 def _execute_task(
     sock: socket.socket,
     write_lock: threading.Lock,
-    task_id: int,
+    task_id: Union[int, str],
     payload: Dict[str, Any],
     checkpoint_every: Optional[int],
     checkpoint_doc: Optional[Dict[str, Any]],
@@ -969,6 +1008,7 @@ def run_worker(
     fault: Optional[str] = None,
     checkpoint_every: Optional[int] = None,
     redial: Optional[float] = None,
+    token: Optional[str] = None,
 ) -> int:
     """Pull specs from the broker at ``(host, port)`` until it drains.
 
@@ -1015,7 +1055,11 @@ def run_worker(
     if threading.current_thread() is threading.main_thread():
         signal.signal(signal.SIGTERM, lambda signum, frame: stop_requested.set())
     name = worker_id()
-    sock, reader, write_lock, lease = _handshake(host, port, name)
+    # Adopt the broker-assigned name: a collision-suffixed unique name keeps
+    # this worker's stats and exclusions separate from a same-named twin.
+    sock, reader, write_lock, lease, name = _handshake(
+        host, port, name, token=token
+    )
     interval = heartbeat if heartbeat is not None else max(0.05, lease / 3.0)
     completed = 0
     try:
@@ -1040,11 +1084,13 @@ def run_worker(
                 # (journaled brokers restart), try to rejoin first; only a
                 # failed redial — or none configured — is treated as the
                 # drain it is indistinguishable from, and nothing is lost.
-                rejoined = _redial(host, port, name, redial, stop_requested)
+                rejoined = _redial(
+                    host, port, name, redial, stop_requested, token=token
+                )
                 if rejoined is None:
                     break
                 sock.close()
-                sock, reader, write_lock, lease = rejoined
+                sock, reader, write_lock, lease, name = rejoined
                 if heartbeat is None:
                     interval = max(0.05, lease / 3.0)
                 continue
@@ -1057,7 +1103,12 @@ def run_worker(
                     continue
                 if reply_type != "task":
                     raise KeyError(reply_type)  # repro: noqa[ERR001] -- control flow: caught by the reply loop and retried as a protocol error
-                task_id = int(reply["task"])
+                # Task ids are opaque to the worker and echoed verbatim: the
+                # sweep broker uses grid positions (ints), the multi-tenant
+                # service uses "job-id/position" strings.
+                task_id = reply["task"]
+                if not isinstance(task_id, (int, str)):
+                    raise TypeError("task")  # repro: noqa[ERR001] -- control flow: caught by the reply-shape handler below and converted to ExecutionError
                 spec_payload = reply["payload"]
                 task_every = reply.get("checkpoint_every", checkpoint_every)
                 task_every = int(task_every) if task_every is not None else None

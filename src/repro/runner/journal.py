@@ -50,6 +50,12 @@ KIND_EXCLUDED = "excluded"
 KIND_COMPLETED = "completed"
 KIND_FAILED = "failed"
 
+#: Job-lifecycle record kinds, written only by the multi-tenant sweep
+#: service's :class:`ServiceJournal`; task-transition records in a service
+#: journal additionally carry a ``job`` field scoping them to one job.
+KIND_JOB_SUBMITTED = "job-submitted"
+KIND_JOB_CANCELLED = "job-cancelled"
+
 _KNOWN_KINDS = frozenset({
     KIND_ASSIGNED, KIND_CHECKPOINTED, KIND_RELEASED,
     KIND_EXCLUDED, KIND_COMPLETED, KIND_FAILED,
@@ -153,6 +159,10 @@ class BrokerJournal:
         """
         if not self.exists():
             return {}
+        return self._aggregate(self._records())
+
+    def _records(self) -> List[Dict[str, Any]]:
+        """Validated body records (header stripped), torn tail dropped."""
         raw_lines = self.path.read_text(encoding="utf-8").split("\n")
         if raw_lines and raw_lines[-1] == "":
             raw_lines.pop()  # the file ends in a newline: no torn tail
@@ -179,7 +189,7 @@ class BrokerJournal:
                 )
             records.append(record)
         if not records:
-            return {}
+            return []
         header = records[0]
         if header.get("format") != JOURNAL_FORMAT:
             raise JournalError(
@@ -191,7 +201,7 @@ class BrokerJournal:
                 f"{self.path} has unsupported journal version "
                 f"{header.get('version')!r} (this build reads {JOURNAL_VERSION})"
             )
-        return self._aggregate(records[1:])
+        return records[1:]
 
     def _aggregate(
         self, records: List[Dict[str, Any]]
@@ -243,3 +253,83 @@ class BrokerJournal:
                 if isinstance(reasons, list):
                     state.errors = [str(reason) for reason in reasons]
         return states
+
+
+@dataclass
+class JobReplay:
+    """Replayed state of one service job: identity + per-spec task states.
+
+    ``sweep`` is the submitted SweepSpec dict, verbatim — the restarted
+    service re-submits it with ``tasks`` as the replay states, so finished
+    specs re-emit, burned attempts and exclusions stick, and in-flight
+    leases are refunded exactly like a restarted single-sweep broker.
+    """
+
+    name: str = ""
+    priority: int = 1
+    sweep: Optional[Dict[str, Any]] = None
+    cancelled: bool = False
+    tasks: Dict[str, TaskReplay] = field(default_factory=dict)
+
+
+class ServiceJournal(BrokerJournal):
+    """Write-ahead journal for the multi-tenant sweep service.
+
+    Same file format, header, and task-transition kinds as
+    :class:`BrokerJournal`, with two additions: job-lifecycle records
+    (``job-submitted`` carrying the SweepSpec, ``job-cancelled``), and a
+    ``job`` field on every task record so :meth:`replay_jobs` can rebuild
+    each tenant's task states independently.
+    """
+
+    def replay_jobs(self) -> Dict[str, JobReplay]:
+        """Aggregate the journal into per-job :class:`JobReplay` states.
+
+        Jobs come back in submission order (dict insertion order), which the
+        restarted service relies on to re-register them with the fair-share
+        scheduler deterministically.
+        """
+        if not self.exists():
+            return {}
+        jobs: Dict[str, JobReplay] = {}
+        grouped: Dict[str, List[Dict[str, Any]]] = {}
+        for record in self._records():
+            kind = record.get("kind")
+            job_id = record.get("job")
+            if not isinstance(job_id, str):
+                warnings.warn(
+                    f"skipping job-less record {kind!r} in {self.path} "
+                    f"(single-sweep broker journal replayed as a service "
+                    f"journal?)",
+                    JournalWarning,
+                    stacklevel=2,
+                )
+                continue
+            if kind == KIND_JOB_SUBMITTED:
+                job = jobs.setdefault(job_id, JobReplay())
+                job.name = str(record.get("name") or job_id)
+                priority = record.get("priority")
+                if isinstance(priority, int) and priority >= 1:
+                    job.priority = priority
+                sweep = record.get("sweep")
+                if isinstance(sweep, dict):
+                    job.sweep = sweep
+                continue
+            if kind == KIND_JOB_CANCELLED:
+                job = jobs.get(job_id)
+                if job is not None:
+                    job.cancelled = True
+                continue
+            grouped.setdefault(job_id, []).append(record)
+        for job_id, records in grouped.items():
+            job = jobs.get(job_id)
+            if job is None:
+                warnings.warn(
+                    f"skipping task records for unknown job {job_id!r} in "
+                    f"{self.path} (its job-submitted record is missing)",
+                    JournalWarning,
+                    stacklevel=2,
+                )
+                continue
+            job.tasks = self._aggregate(records)
+        return jobs

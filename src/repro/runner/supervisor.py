@@ -85,6 +85,7 @@ def _worker_command(
     heartbeat: Optional[float],
     redial: Optional[float],
     checkpoint_every: Optional[int],
+    token: Optional[str] = None,
 ) -> List[str]:
     command = [sys.executable, "-m", "repro", "worker",
                "--connect", f"{host}:{port}"]
@@ -94,6 +95,8 @@ def _worker_command(
         command += ["--redial", str(redial)]
     if checkpoint_every is not None:
         command += ["--checkpoint-every", str(checkpoint_every)]
+    if token is not None:
+        command += ["--token", token]
     return command
 
 
@@ -162,6 +165,7 @@ class WorkerSupervisor:
         heartbeat: Optional[float] = None,
         redial: Optional[float] = None,
         checkpoint_every: Optional[int] = None,
+        token: Optional[str] = None,
         max_rapid_failures: int = DEFAULT_MAX_RAPID_FAILURES,
         rapid_seconds: float = DEFAULT_RAPID_SECONDS,
         backoff_base: float = DEFAULT_BACKOFF_BASE,
@@ -179,6 +183,7 @@ class WorkerSupervisor:
         self.heartbeat = heartbeat
         self.redial = redial
         self.checkpoint_every = checkpoint_every
+        self.token = token
         self.max_rapid_failures = max_rapid_failures
         self.rapid_seconds = rapid_seconds
         self.backoff_base = backoff_base
@@ -202,7 +207,7 @@ class WorkerSupervisor:
     def _spawn(self, slot: _Slot) -> None:
         command = _worker_command(
             self.host, self.port, self.heartbeat, self.redial,
-            self.checkpoint_every,
+            self.checkpoint_every, self.token,
         )
         slot.proc = subprocess.Popen(
             command, env=_worker_env(slot.fault), stdout=subprocess.DEVNULL
@@ -352,6 +357,7 @@ def run_supervisor(
     redial: Optional[float] = None,
     fault: Optional[str] = None,
     checkpoint_every: Optional[int] = None,
+    token: Optional[str] = None,
     max_rapid_failures: int = DEFAULT_MAX_RAPID_FAILURES,
 ) -> int:
     """Foreground driver behind ``repro workers --pool N``.
@@ -375,6 +381,7 @@ def run_supervisor(
         heartbeat=heartbeat,
         redial=redial,
         checkpoint_every=checkpoint_every,
+        token=token,
         max_rapid_failures=max_rapid_failures,
         respawn_faulted=True,
         on_event=lambda message: print(

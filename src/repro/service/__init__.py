@@ -1,0 +1,44 @@
+"""Multi-tenant sweep service: named job queues over one shared worker pool.
+
+``repro serve`` runs a persistent daemon that accepts SweepSpec jobs over
+an HTTP/JSON API, schedules their specs fairly across every connected
+``repro worker`` process, short-circuits specs already present in the
+service result cache, and journals every transition so a SIGKILL'd daemon
+resumes its jobs on restart.  See ``README.md`` ("Sweep service") for the
+operational guide.
+"""
+
+from repro.service.daemon import ServiceBroker, SweepService, run_service
+from repro.service.jobstore import (
+    JOB_CANCELLED,
+    JOB_COMPLETED,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    TERMINAL_JOB_STATES,
+    Job,
+    JobStore,
+    format_task_id,
+    parse_task_id,
+)
+from repro.service.httpapi import ServiceHTTPServer
+from repro.service.scheduler import STRIDE_SCALE, FairShareScheduler
+
+__all__ = [
+    "JOB_CANCELLED",
+    "JOB_COMPLETED",
+    "JOB_FAILED",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "STRIDE_SCALE",
+    "TERMINAL_JOB_STATES",
+    "FairShareScheduler",
+    "Job",
+    "JobStore",
+    "ServiceBroker",
+    "ServiceHTTPServer",
+    "SweepService",
+    "format_task_id",
+    "parse_task_id",
+    "run_service",
+]

@@ -371,6 +371,74 @@ class TestProto001:
         write_tree(tmp_path, {"runner/distributed.py": closed})
         assert lint(tmp_path, select=["PROTO001"]) == []
 
+    def test_service_module_kind_without_worker_handler_is_flagged(self, tmp_path):
+        # The service daemon sends over the same wire protocol: a kind built
+        # inside ServiceBroker/JobStore that no worker-side code compares
+        # must close the vocabulary exactly like a Broker-sent kind.
+        closed = self.DISTRIBUTED.replace('return {"type": "orphan"}', "return None")
+        write_tree(tmp_path, {
+            "runner/distributed.py": closed,
+            "service/daemon.py": """
+                class ServiceBroker:
+                    def serve(self):
+                        return {"type": "reject"}
+            """,
+        })
+        findings = lint(tmp_path, select=["PROTO001"])
+        assert rule_ids(findings) == ["PROTO001"]
+        assert "'reject'" in findings[0].message
+        assert findings[0].rel == "service/daemon.py"
+
+    def test_service_kind_handled_by_worker_in_other_module_is_clean(self, tmp_path):
+        # Closure is aggregated across modules: the worker-side handshake in
+        # runner/distributed.py satisfies a ServiceBroker-sent 'reject', and
+        # JobStore's broker-side dispatch satisfies worker-sent kinds.
+        closed = self.DISTRIBUTED.replace(
+            'return {"type": "orphan"}', 'return {"type": "release"}'
+        )
+        write_tree(tmp_path, {
+            "runner/distributed.py": closed + """
+
+        def handshake(welcome):
+            if welcome.get("type") == "reject":
+                raise RuntimeError("rejected")
+            """,
+            "service/daemon.py": """
+                class ServiceBroker:
+                    def serve(self, kind):
+                        if kind == "release":
+                            return {"type": "reject"}
+                        return None
+            """,
+        })
+        assert lint(tmp_path, select=["PROTO001"]) == []
+
+    def test_service_journal_kind_without_replay_is_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "runner/distributed.py": """
+                class Broker:
+                    def record(self):
+                        self._journal_append({"kind": "assigned", "task": 1})
+            """,
+            "service/jobstore.py": """
+                class JobStore:
+                    def submit(self):
+                        self._journal_append({"kind": "job-submitted"})
+            """,
+            "runner/journal.py": """
+                KIND_ASSIGNED = "assigned"
+
+                def replay(kind):
+                    if kind == KIND_ASSIGNED:
+                        return True
+                    return False
+            """,
+        })
+        findings = lint(tmp_path, select=["PROTO001"])
+        assert rule_ids(findings) == ["PROTO001"]
+        assert "'job-submitted'" in findings[0].message
+        assert "never aggregates" in findings[0].message
+
 
 # ----------------------------------------------------------- suppressions
 class TestNoqa:

@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) for the sweep service's fair-share
+scheduler and the JobStore invariants built on top of it.
+
+Three contracts from the service design:
+
+* **Determinism** — replaying the same submissions and slot requests yields
+  the same interleaving, on the bare :class:`FairShareScheduler` and on a
+  full :class:`JobStore`.  The service's bit-identity guarantee sits on top
+  of this.
+* **No starvation** — a job with pending work is served within roughly one
+  round of the share weights; passes never drift apart by more than the
+  largest stride.
+* **Cancellation refunds** — cancelling a job refunds each leased spec
+  exactly once, no matter how many specs were in flight, and a second
+  cancel is a no-op.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runner import RunSpec, SweepSpec
+from repro.runner.executor import execute_spec
+from repro.service import STRIDE_SCALE, FairShareScheduler, JobStore, parse_task_id
+
+COMMON_SETTINGS = settings(max_examples=50, deadline=None,
+                           suppress_health_check=[HealthCheck.too_slow])
+
+#: Any valid result payload satisfies ``JobStore.complete``; the store never
+#: cross-checks it against the spec (the simulator's determinism does that).
+_RESULT = execute_spec(
+    RunSpec(workload="tightloop", params={"iterations": 2},
+            config="Baseline", num_cores=4)
+).to_dict()
+
+
+def unique_spec(tag):
+    """Globally unique specs so cross-job coalescing never kicks in."""
+    return RunSpec(
+        workload="tightloop", params={"iterations": 2 + tag},
+        config="WiSync", num_cores=4,
+    )
+
+
+def build_store(job_sizes):
+    """One JobStore with ``len(job_sizes)`` jobs of the given spec counts."""
+    store = JobStore()
+    tag = 0
+    for index, (size, priority) in enumerate(job_sizes):
+        specs = tuple(unique_spec(tag + offset) for offset in range(size))
+        tag += size
+        store.submit(
+            SweepSpec(name=f"job{index}", specs=specs),
+            job_id=f"job-{index}", priority=priority,
+        )
+    return store
+
+
+# --------------------------------------------------------------------------
+# Scheduler-level properties
+# --------------------------------------------------------------------------
+priorities = st.integers(min_value=1, max_value=10)
+
+#: A mix of scheduler operations: add a job, charge the current winner, or
+#: remove the current winner.  Weighted toward charges so schedules get deep.
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), priorities),
+        st.tuples(st.just("charge"), st.just(0)),
+        st.tuples(st.just("charge"), st.just(0)),
+        st.tuples(st.just("remove"), st.just(0)),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+def replay(op_list):
+    """Run an op list against a fresh scheduler; return the winner trace."""
+    scheduler = FairShareScheduler()
+    jobs = []
+    trace = []
+    next_id = 0
+    for op, arg in op_list:
+        if op == "add":
+            job_id = f"j{next_id}"
+            next_id += 1
+            scheduler.add(job_id, priority=arg)
+            jobs.append(job_id)
+        elif not jobs:
+            continue
+        else:
+            winner = scheduler.order(jobs)[0]
+            trace.append(winner)
+            if op == "charge":
+                scheduler.charge(winner)
+            else:
+                scheduler.remove(winner)
+                jobs.remove(winner)
+    return trace
+
+
+@COMMON_SETTINGS
+@given(ops)
+def test_scheduler_is_deterministic_under_replay(op_list):
+    assert replay(op_list) == replay(op_list)
+
+
+@COMMON_SETTINGS
+@given(st.lists(priorities, min_size=1, max_size=6),
+       st.integers(min_value=1, max_value=8))
+def test_slots_divide_proportionally_to_priority(job_priorities, rounds):
+    # Every job always has work; after k full rounds (one round = sum of
+    # priorities slots) each job's slot count is within one slot per
+    # competitor of its exact entitlement k * priority.
+    scheduler = FairShareScheduler()
+    jobs = {}
+    for index, priority in enumerate(job_priorities):
+        job_id = f"j{index}"
+        scheduler.add(job_id, priority=priority)
+        jobs[job_id] = priority
+    counts = {job_id: 0 for job_id in jobs}
+    for _ in range(rounds * sum(job_priorities)):
+        winner = scheduler.order(list(jobs))[0]
+        counts[winner] += 1
+        scheduler.charge(winner)
+    slack = len(jobs)
+    for job_id, priority in jobs.items():
+        entitled = rounds * priority
+        assert abs(counts[job_id] - entitled) <= slack
+
+
+@COMMON_SETTINGS
+@given(st.lists(priorities, min_size=2, max_size=6))
+def test_no_starvation_within_one_round(job_priorities):
+    # Two bounds: (a) pass values never drift apart by more than the largest
+    # stride, and (b) the gap between consecutive slots for any job never
+    # exceeds its round share (total/priority) plus one slot per competitor.
+    scheduler = FairShareScheduler()
+    jobs = {}
+    for index, priority in enumerate(job_priorities):
+        job_id = f"j{index}"
+        scheduler.add(job_id, priority=priority)
+        jobs[job_id] = priority
+    last_seen = {job_id: 0 for job_id in jobs}
+    total = sum(job_priorities)
+    for slot in range(1, 4 * total + 1):
+        winner = scheduler.order(list(jobs))[0]
+        scheduler.charge(winner)
+        gap = slot - last_seen[winner]
+        last_seen[winner] = slot
+        bound = -(-total // jobs[winner]) + len(jobs)  # ceil + slack
+        assert gap <= bound, f"{winner} starved for {gap} slots (bound {bound})"
+        passes = [scheduler._jobs[job_id][0] for job_id in jobs]
+        assert max(passes) - min(passes) <= STRIDE_SCALE
+
+
+# --------------------------------------------------------------------------
+# JobStore-level properties
+# --------------------------------------------------------------------------
+job_mixes = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=5), priorities),
+    min_size=1, max_size=4,
+)
+
+
+@COMMON_SETTINGS
+@given(job_mixes, st.integers(min_value=0, max_value=30))
+def test_jobstore_assignment_order_is_deterministic(job_sizes, drives):
+    def assignment_trace():
+        store = build_store(job_sizes)
+        store.claim_worker("w")
+        trace = []
+        for _ in range(drives):
+            message = store.assign("w")
+            if message["type"] != "task":
+                break
+            parsed = parse_task_id(message["task"])
+            trace.append(parsed)
+            job_id, position = parsed
+            store.complete(job_id, position, "w", dict(_RESULT))
+        return trace
+
+    assert assignment_trace() == assignment_trace()
+
+
+@COMMON_SETTINGS
+@given(job_mixes, st.integers(min_value=0, max_value=12), st.data())
+def test_cancellation_refunds_leased_specs_exactly_once(
+    job_sizes, leases, data
+):
+    store = build_store(job_sizes)
+    for worker in range(leases):  # one lease per worker, all left in flight
+        store.claim_worker(f"w{worker}")
+        store.assign(f"w{worker}")
+    victim = data.draw(
+        st.sampled_from([f"job-{i}" for i in range(len(job_sizes))])
+    )
+    leased_before = sum(
+        1 for entry in store.job_detail(victim)["specs"]
+        if entry["state"] == "leased"
+    )
+    refunded_before = store.stats["refunded"]
+    summary = store.cancel(victim)
+    assert summary["state"] == "cancelled"
+    assert summary["refunded"] == leased_before
+    assert store.stats["refunded"] == refunded_before + leased_before
+    # Every spec of the job is now terminal; none is still queued or leased.
+    assert all(
+        entry["state"] in ("done", "failed", "cancelled")
+        for entry in store.job_detail(victim)["specs"]
+    )
+    # A second cancel is a no-op: no double refund, no state change.
+    assert store.cancel(victim) is None
+    assert store.stats["refunded"] == refunded_before + leased_before
+    assert store.job_summary(victim)["refunded"] == leased_before
