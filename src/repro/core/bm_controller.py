@@ -6,18 +6,24 @@ BM and always succeed; stores first perform the global wireless broadcast
 Completion Bit (WCB); atomic read-modify-write instructions read the local
 BM, broadcast the updated value, and fail (Atomicity Failure Bit, AFB) if a
 remote write to the same location arrives in between.
+
+In-flight operations live in an explicit pending-op registry (plain-data
+records keyed by a per-controller op id) rather than in closures: every
+callback the controller hands to the transceiver, the fabric, or the event
+queue is a :class:`BmOpCallback` naming ``(node, op, method)``, which is
+what lets the snapshot codec capture and reconstruct a checkpoint taken
+mid-broadcast.
 """
 
 from __future__ import annotations
 
-from typing import Callable, NamedTuple, Optional, Tuple
+from typing import Callable, Dict, NamedTuple, Optional, Tuple
 
 from repro.config import BroadcastMemoryConfig
 from repro.errors import MemoryError_
 from repro.isa.operations import RmwKind
 from repro.mem.hierarchy import apply_rmw
-from repro.wireless.transceiver import Transceiver
-from repro.wireless.channel import WirelessMessage
+from repro.wireless.transceiver import SendTicket, Transceiver
 
 
 class RmwResult(NamedTuple):
@@ -32,6 +38,69 @@ class RmwResult(NamedTuple):
     success: bool
     afb: bool
     completion_cycle: int
+
+
+class PendingBmOp:
+    """One in-flight store/bulk-store/RMW: plain data plus the completion."""
+
+    __slots__ = (
+        "op_id",
+        "kind",
+        "addr",
+        "value",
+        "values",
+        "pid",
+        "old",
+        "new",
+        "settled",
+        "token",
+        "ticket",
+        "on_done",
+    )
+
+    def __init__(
+        self,
+        op_id: int,
+        kind: str,
+        addr: int,
+        on_done: Callable,
+        pid: Optional[int],
+        value: int = 0,
+        values: Tuple[int, ...] = (),
+        old: int = 0,
+        new: int = 0,
+    ) -> None:
+        self.op_id = op_id
+        self.kind = kind  # "store" | "bulk" | "rmw"
+        self.addr = addr
+        self.value = value
+        self.values = values
+        self.pid = pid
+        self.old = old
+        self.new = new
+        self.settled = False
+        self.token: Optional[int] = None
+        self.ticket: Optional[SendTicket] = None
+        self.on_done = on_done
+
+
+class BmOpCallback:
+    """Describable callback: invoke ``method`` of a controller's pending op.
+
+    Replaces the per-operation closures the controller used to allocate;
+    the snapshot codec serializes one as ``(node, op_id, method)`` and
+    rebuilds it against the restored registry.
+    """
+
+    __slots__ = ("controller", "op_id", "method")
+
+    def __init__(self, controller: "BmController", op_id: int, method: str) -> None:
+        self.controller = controller
+        self.op_id = op_id
+        self.method = method
+
+    def __call__(self, *args) -> None:
+        getattr(self.controller, self.method)(self.op_id, *args)
 
 
 class BmController:
@@ -55,6 +124,8 @@ class BmController:
         self.stores_issued = 0
         self.rmws_issued = 0
         self.rmw_failures = 0
+        self._pending_ops: Dict[int, PendingBmOp] = {}
+        self._next_op_id = 0
 
     # ----------------------------------------------------------------- loads
     def load(self, addr: int, pid: Optional[int] = None) -> Tuple[int, int]:
@@ -67,6 +138,16 @@ class BmController:
         values = tuple(self.fabric.memory.read(addr + i, pid) for i in range(4))
         return values, self.config.round_trip
 
+    # ------------------------------------------------------------ op registry
+    def _new_op(self, kind: str, addr: int, on_done: Callable, pid: Optional[int], **fields) -> PendingBmOp:
+        op = PendingBmOp(self._next_op_id, kind, addr, on_done, pid, **fields)
+        self._next_op_id += 1
+        self._pending_ops[op.op_id] = op
+        return op
+
+    def _op_callback(self, op_id: int, method: str) -> BmOpCallback:
+        return BmOpCallback(self, op_id, method)
+
     # ---------------------------------------------------------------- stores
     def store(
         self,
@@ -78,13 +159,10 @@ class BmController:
         """Broadcast store; ``on_done(completion_cycle)`` fires when performed."""
         self.wcb = False
         self.stores_issued += 1
-
-        def _complete(message: WirelessMessage, cycle: int) -> None:
-            self.fabric.apply_store(addr, value, self.node_id, cycle, pid)
-            self.wcb = True
-            on_done(cycle)
-
-        self.transceiver.send_store(addr, value, _complete)
+        op = self._new_op("store", addr, on_done, pid, value=value)
+        op.ticket = self.transceiver.send_store(
+            addr, value, self._op_callback(op.op_id, "_store_performed")
+        )
 
     def bulk_store(
         self,
@@ -98,14 +176,21 @@ class BmController:
             raise MemoryError_("bulk stores transfer exactly four 64-bit words")
         self.wcb = False
         self.stores_issued += 1
+        op = self._new_op("bulk", addr, on_done, pid, values=tuple(values))
+        op.ticket = self.transceiver.send_bulk_store(
+            addr, tuple(values), self._op_callback(op.op_id, "_store_performed")
+        )
 
-        def _complete(message: WirelessMessage, cycle: int) -> None:
-            for offset, value in enumerate(values):
-                self.fabric.apply_store(addr + offset, value, self.node_id, cycle, pid)
-            self.wcb = True
-            on_done(cycle)
-
-        self.transceiver.send_bulk_store(addr, tuple(values), _complete)
+    def _store_performed(self, op_id: int, message, cycle: int) -> None:
+        """The broadcast went out: perform globally and report completion."""
+        op = self._pending_ops.pop(op_id)
+        if op.kind == "bulk":
+            for offset, value in enumerate(op.values):
+                self.fabric.apply_store(op.addr + offset, value, self.node_id, cycle, op.pid)
+        else:
+            self.fabric.apply_store(op.addr, op.value, self.node_id, cycle, op.pid)
+        self.wcb = True
+        op.on_done(cycle)
 
     # --------------------------------------------------------------- atomics
     def rmw(
@@ -139,43 +224,56 @@ class BmController:
                 RmwResult(old_value=old, success=False, afb=False, completion_cycle=completion),
             )
             return
-        state = {"settled": False, "ticket": None}
+        op = self._new_op("rmw", addr, on_done, pid, old=old, new=new)
+        op.token = self.fabric.register_pending_rmw(
+            self.node_id, addr, self._op_callback(op.op_id, "_rmw_atomicity_failed")
+        )
+        op.ticket = self.transceiver.send_store(
+            addr, new, self._op_callback(op.op_id, "_rmw_performed")
+        )
 
-        def _finish(failed: bool, cycle: int) -> None:
-            if state["settled"]:
-                return
-            state["settled"] = True
-            self.afb = failed
-            self.wcb = True
-            if failed:
-                self.rmw_failures += 1
-            else:
-                self.fabric.apply_store(addr, new, self.node_id, cycle, pid)
-            on_done(
-                RmwResult(
-                    old_value=old,
-                    success=not failed,
-                    afb=failed,
-                    completion_cycle=cycle,
-                )
+    def _rmw_finish(self, op_id: int, failed: bool, cycle: int) -> None:
+        op = self._pending_ops.get(op_id)
+        if op is None or op.settled:
+            return
+        op.settled = True
+        del self._pending_ops[op_id]
+        self.afb = failed
+        self.wcb = True
+        if failed:
+            self.rmw_failures += 1
+        else:
+            self.fabric.apply_store(op.addr, op.new, self.node_id, cycle, op.pid)
+        op.on_done(
+            RmwResult(
+                old_value=op.old,
+                success=not failed,
+                afb=failed,
+                completion_cycle=cycle,
+            )
+        )
+
+    def _rmw_atomicity_failed(self, op_id: int) -> None:
+        # A remote write to this address arrived before our broadcast
+        # succeeded.  Abort the pending transmission if it has not
+        # started; the instruction then terminates with AFB set without
+        # ever occupying the Data channel (Section 4.2.1).
+        op = self._pending_ops.get(op_id)
+        if op is None or op.settled:
+            return
+        if op.ticket is not None and op.ticket.cancel():
+            self.fabric.consume_pending_rmw(op.token)
+            cycle = self.fabric.sim.now + self.config.round_trip
+            self.fabric.sim.schedule(
+                self.config.round_trip,
+                self._op_callback(op_id, "_rmw_finish"),
+                True,
+                cycle,
             )
 
-        def _on_atomicity_failure() -> None:
-            # A remote write to this address arrived before our broadcast
-            # succeeded.  Abort the pending transmission if it has not
-            # started; the instruction then terminates with AFB set without
-            # ever occupying the Data channel (Section 4.2.1).
-            ticket = state["ticket"]
-            if ticket is not None and ticket.cancel():
-                self.fabric.consume_pending_rmw(token)
-                cycle = self.fabric.sim.now + self.config.round_trip
-                self.fabric.sim.schedule(self.config.round_trip, _finish, True, cycle)
-
-        def _complete(message: WirelessMessage, cycle: int) -> None:
-            if state["settled"]:
-                return
-            failed = self.fabric.consume_pending_rmw(token)
-            _finish(failed, cycle)
-
-        token = self.fabric.register_pending_rmw(self.node_id, addr, _on_atomicity_failure)
-        state["ticket"] = self.transceiver.send_store(addr, new, _complete)
+    def _rmw_performed(self, op_id: int, message, cycle: int) -> None:
+        op = self._pending_ops.get(op_id)
+        if op is None or op.settled:
+            return
+        failed = self.fabric.consume_pending_rmw(op.token)
+        self._rmw_finish(op_id, failed, cycle)

@@ -79,7 +79,9 @@ class BroadcastFabric:
         self.nodes: List[WiSyncNode] = []
         self._waiters: Dict[int, List[_Waiter]] = {}
         self._pending_rmw: Dict[int, _PendingRmw] = {}
-        self._pending_by_addr: Dict[int, Set[int]] = {}
+        #: Insertion-ordered token index per address (dict-as-ordered-set, so
+        #: failure notification order is explicit and snapshot-stable).
+        self._pending_by_addr: Dict[int, Dict[int, None]] = {}
         self._next_token = 0
         self.total_writes = 0
         # Flyweight stat handles for the per-broadcast-write hot path.
@@ -190,8 +192,8 @@ class BroadcastFabric:
         self._pending_rmw[token] = _PendingRmw(node=node, addr=addr, on_fail=on_fail)
         tokens = self._pending_by_addr.get(addr)
         if tokens is None:
-            tokens = self._pending_by_addr[addr] = set()
-        tokens.add(token)
+            tokens = self._pending_by_addr[addr] = {}
+        tokens[token] = None
         return token
 
     def consume_pending_rmw(self, token: int) -> bool:
@@ -200,16 +202,15 @@ class BroadcastFabric:
             raise WirelessError(f"unknown pending RMW token {token}")
         tokens = self._pending_by_addr.get(pending.addr)
         if tokens is not None:
-            tokens.discard(token)
+            tokens.pop(token, None)
             if not tokens:
                 del self._pending_by_addr[pending.addr]
         return pending.failed
 
     def _fail_pending(self, addr: int, sender: int) -> None:
-        # Tokens are monotonically assigned ints, so set order is a pure
-        # function of insertion history (no string hashing involved); sorting
-        # here would reorder pinned golden event sequences.
-        for token in list(self._pending_by_addr.get(addr, set())):  # repro: noqa[DET002]
+        # Insertion-ordered dict keys: tokens are notified in registration
+        # order, which is what the pinned golden event sequences encode.
+        for token in list(self._pending_by_addr.get(addr, ())):
             pending = self._pending_rmw.get(token)
             if pending is None or pending.node == sender:
                 continue

@@ -36,6 +36,19 @@ class ActiveBEntry:
     arrived: bool = False
 
 
+class _ActivationSent:
+    """Describable completion hook for a barrier-activation message."""
+
+    __slots__ = ("controller", "bm_addr")
+
+    def __init__(self, controller: "ToneController", bm_addr: int) -> None:
+        self.controller = controller
+        self.bm_addr = bm_addr
+
+    def __call__(self, message: WirelessMessage, cycle: int) -> None:
+        self.controller._activation_sent(self.bm_addr, cycle)
+
+
 class ToneController:
     """Hardware tone-barrier participation logic of one node."""
 
@@ -54,6 +67,9 @@ class ToneController:
         self.active_b: Dict[int, ActiveBEntry] = {}
         #: Arrivals observed before the activation message was delivered.
         self._arrived_early: Set[int] = set()
+        #: Optional caller hooks for in-flight activation messages, keyed by
+        #: BM address (``None`` for the common fire-and-forget arrival).
+        self._pending_inits: Dict[int, Optional[Callable[[int], None]]] = {}
         self.barriers_initiated = 0
         self.barriers_joined = 0
 
@@ -111,13 +127,14 @@ class ToneController:
             return False
         self._arrived_early.add(bm_addr)
         self.barriers_initiated += 1
-
-        def _sent(message: WirelessMessage, cycle: int) -> None:
-            if on_activation_sent is not None:
-                on_activation_sent(cycle)
-
-        self.transceiver.send_tone_init(bm_addr, _sent)
+        self._pending_inits[bm_addr] = on_activation_sent
+        self.transceiver.send_tone_init(bm_addr, _ActivationSent(self, bm_addr))
         return True
+
+    def _activation_sent(self, bm_addr: int, cycle: int) -> None:
+        on_activation_sent = self._pending_inits.pop(bm_addr, None)
+        if on_activation_sent is not None:
+            on_activation_sent(cycle)
 
     # ------------------------------------------------------------ activation
     def on_barrier_activated(self, bm_addr: int) -> bool:

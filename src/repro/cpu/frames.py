@@ -1,0 +1,146 @@
+"""Resumable thread frames: thread bodies as explicit, serializable stacks.
+
+A generator thread body keeps its progress in a live CPython frame —
+instruction pointer, locals, the whole ``yield from`` chain — which is
+exactly the state a checkpoint cannot capture.  This module provides the
+alternative representation: a thread is an explicit stack of
+:class:`Frame` records, each naming a *routine* (a pure step function
+registered on the machine), a *label* (which suspension point inside the
+routine to resume at), and a dict of plain-data *locals*.
+
+A routine is a function ``step(frame, value, env) -> Op | Call | Ret``:
+
+* ``Op(operation, label)`` — suspend: hand ``operation`` to the machine and,
+  when its result comes back, re-enter this routine at ``label`` with the
+  result as ``value``.
+* ``Call(routine, locals, label)`` — push a callee frame; when it returns,
+  re-enter this routine at ``label`` with the callee's return value.
+* ``Ret(value)`` — pop this frame, returning ``value`` to the caller (or
+  finishing the thread if this was the root frame).
+
+The trampoline (:meth:`repro.cpu.thread.SimThread.send`) drives the stack
+with exactly the generator protocol — it returns the next operation or
+raises ``StopIteration(result)`` — so the machine's dispatch loop cannot
+tell the two representations apart and unported workloads keep the
+generator path untouched.
+
+The serializability contract (enforced by lint rule SNAP002 and checked at
+capture time): everything stored in ``Frame.locals`` must be plain data —
+ints, strings, bools, None, or :class:`~repro.isa.predicates.Predicate`
+records.  Operation results that are tuples (``AtomicOp``, ``cas``) exist
+only *inside* a trampoline step; routines must unpack them into scalars
+before suspending.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import SnapshotError
+
+#: Label every frame starts at.
+START = "start"
+
+
+class Op:
+    """Suspend the routine: issue ``operation``, resume at ``label``."""
+
+    __slots__ = ("operation", "label")
+
+    def __init__(self, operation: Any, label: str) -> None:
+        self.operation = operation
+        self.label = label
+
+
+class Call:
+    """Push a callee frame; resume at ``label`` with its return value."""
+
+    __slots__ = ("routine", "locals", "label")
+
+    def __init__(self, routine: str, locals: Optional[Dict[str, Any]], label: str) -> None:
+        self.routine = routine
+        self.locals = locals
+        self.label = label
+
+
+class Ret:
+    """Pop this frame, handing ``value`` back to the caller."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = None) -> None:
+        self.value = value
+
+
+class Frame:
+    """One resumable activation record: routine name, label, plain locals."""
+
+    __slots__ = ("routine", "label", "locals")
+
+    def __init__(
+        self,
+        routine: str,
+        label: str = START,
+        locals: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.routine = routine
+        self.label = label
+        self.locals = {} if locals is None else locals
+
+    def describe(self) -> Dict[str, Any]:
+        """Plain-data form; locals are validated by the snapshot codec."""
+        return {"routine": self.routine, "label": self.label, "locals": dict(self.locals)}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Frame":
+        try:
+            return cls(payload["routine"], payload["label"], dict(payload["locals"]))
+        except (KeyError, TypeError) as error:
+            raise SnapshotError(f"malformed frame payload {payload!r}: {error}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Frame({self.routine}@{self.label}, {self.locals})"
+
+
+class FrameBody:
+    """A frames-mode thread body: the root routine plus its initial locals.
+
+    Passed to ``Program.add_thread`` in place of a generator function; the
+    machine detects the type and runs the thread on the trampoline.  The
+    ``locals`` template is copied per thread, so one ``FrameBody`` serves
+    every thread of a workload (per-thread variation comes from
+    ``env.ctx``).
+    """
+
+    __slots__ = ("routine", "locals")
+
+    def __init__(self, routine: str, locals: Optional[Dict[str, Any]] = None) -> None:
+        self.routine = routine
+        self.locals = {} if locals is None else locals
+
+    def spawn_stack(self) -> List[Frame]:
+        return [Frame(self.routine, START, dict(self.locals))]
+
+
+class FrameEnv:
+    """Ambient context handed to every routine step.
+
+    Routines reach build-time structure through here — the thread's
+    :class:`~repro.cpu.thread.ThreadContext` (identity + rng) and the
+    machine's sync-object registry — instead of capturing it in locals,
+    which keeps frames plain data.
+    """
+
+    __slots__ = ("machine", "thread")
+
+    def __init__(self, machine: Any, thread: Any) -> None:
+        self.machine = machine
+        self.thread = thread
+
+    @property
+    def ctx(self) -> Any:
+        return self.thread.context
+
+    def sync(self, sync_id: int) -> Any:
+        """Resolve a registered synchronization object by its stable id."""
+        return self.machine.sync_objects[sync_id]

@@ -1,16 +1,22 @@
 """Simulated software threads.
 
-A thread's body is a Python generator: every ``yield`` hands an operation
-from :mod:`repro.isa.operations` to the machine, and the result of the
-operation comes back as the value of the ``yield`` expression.
+A thread's body is either a Python generator — every ``yield`` hands an
+operation from :mod:`repro.isa.operations` to the machine and the result
+comes back as the value of the ``yield`` expression — or a
+:class:`~repro.cpu.frames.FrameBody`, in which case the thread runs as an
+explicit stack of resumable frames driven by a trampoline speaking the
+same send/StopIteration protocol.  The machine drives both through
+:meth:`SimThread.send` and cannot tell them apart; only the frame
+representation is natively checkpointable.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator, List, Optional
 
+from repro.cpu.frames import Call, Frame, FrameBody, FrameEnv, Op
 from repro.sim.rng import DeterministicRng
 
 
@@ -39,6 +45,35 @@ class ThreadContext:
     rng: DeterministicRng
 
 
+class ThreadResume:
+    """Schedulable callback that resumes a thread with the delivered value.
+
+    One shared instance per thread replaces the per-suspension
+    ``lambda value: machine._advance(thread, value)`` closures the machine
+    used to allocate on every blocking operation: cheaper on the hot path,
+    and — unlike a closure — describable by the snapshot codec.
+    """
+
+    __slots__ = ("advance", "thread")
+
+    def __init__(self, advance: Callable[["SimThread", Any], None], thread: "SimThread") -> None:
+        self.advance = advance
+        self.thread = thread
+
+    def __call__(self, value: Any) -> None:
+        self.advance(self.thread, value)
+
+
+class ThreadResumeNone(ThreadResume):
+    """Resume a thread with ``None``, ignoring whatever the caller delivers
+    (completion cycles from BM stores, for example)."""
+
+    __slots__ = ()
+
+    def __call__(self, *_ignored: Any) -> None:
+        self.advance(self.thread, None)
+
+
 class SimThread:
     """One simulated thread bound to a core."""
 
@@ -56,17 +91,66 @@ class SimThread:
         self.body = body
         self.context = context
         self.generator: Optional[Generator] = None
+        self.frames: Optional[List[Frame]] = None
+        self.frame_env: Optional[FrameEnv] = None
         self.state = ThreadState.READY
         self.start_cycle: Optional[int] = None
         self.finish_cycle: Optional[int] = None
         self.operations_issued = 0
         self.result: Any = None
+        #: Set by the machine when the thread is registered (bind_resume).
+        self.resume: Optional[ThreadResume] = None
+        self.resume_none: Optional[ThreadResumeNone] = None
+        #: Bound per representation in :meth:`start`; the machine's dispatch
+        #: loop calls ``thread.send(value)`` without knowing which it is.
+        self.send: Optional[Callable[[Any], Any]] = None
 
-    def start(self) -> Generator:
-        """Instantiate the generator (called by the machine when scheduling)."""
-        self.generator = self.body(self.context)
+    def bind_resume(self, advance: Callable[["SimThread", Any], None]) -> None:
+        """Create the shared resume callables (called once by the machine)."""
+        self.resume = ThreadResume(advance, self)
+        self.resume_none = ThreadResumeNone(advance, self)
+
+    @property
+    def uses_frames(self) -> bool:
+        """True when the body runs on the resumable-frame trampoline."""
+        return isinstance(self.body, FrameBody)
+
+    def start(self) -> None:
+        """Instantiate the body (called by the machine when scheduling)."""
+        if isinstance(self.body, FrameBody):
+            self.frames = self.body.spawn_stack()
+            self.send = self._frame_send
+        else:
+            self.generator = self.body(self.context)
+            self.send = self.generator.send
         self.state = ThreadState.RUNNING
-        return self.generator
+
+    def _frame_send(self, value: Any) -> Any:
+        """Trampoline: drive the frame stack until it suspends or finishes.
+
+        Speaks the generator protocol — returns the next operation, raises
+        ``StopIteration(result)`` when the root frame returns — so the
+        machine's ``except StopIteration`` path works unchanged.
+        """
+        stack = self.frames
+        env = self.frame_env
+        routines = env.machine.frame_routines
+        while True:
+            frame = stack[-1]
+            action = routines[frame.routine](frame, value, env)
+            cls = action.__class__
+            if cls is Op:
+                frame.label = action.label
+                return action.operation
+            if cls is Call:
+                frame.label = action.label
+                stack.append(Frame(action.routine, locals=action.locals))
+                value = None
+                continue
+            stack.pop()
+            if not stack:
+                raise StopIteration(action.value)
+            value = action.value
 
     @property
     def finished(self) -> bool:

@@ -8,7 +8,10 @@ from repro.lint.engine import Rule
 from repro.lint.rules.contracts import Err001ErrorHierarchy, Slot001UndeclaredSlot
 from repro.lint.rules.determinism import Det001AmbientEntropy, Det002UnorderedIteration
 from repro.lint.rules.protocol import Proto001ProtocolClosure
-from repro.lint.rules.snapshots import Snap001SnapshotCompleteness
+from repro.lint.rules.snapshots import (
+    Snap001SnapshotCompleteness,
+    Snap002FrameLocalsPlainData,
+)
 
 
 def default_rules() -> Tuple[Rule, ...]:
@@ -17,6 +20,7 @@ def default_rules() -> Tuple[Rule, ...]:
         Det001AmbientEntropy(),
         Det002UnorderedIteration(),
         Snap001SnapshotCompleteness(),
+        Snap002FrameLocalsPlainData(),
         Proto001ProtocolClosure(),
         Err001ErrorHierarchy(),
         Slot001UndeclaredSlot(),
@@ -28,6 +32,7 @@ __all__ = [
     "Det001AmbientEntropy",
     "Det002UnorderedIteration",
     "Snap001SnapshotCompleteness",
+    "Snap002FrameLocalsPlainData",
     "Proto001ProtocolClosure",
     "Err001ErrorHierarchy",
     "Slot001UndeclaredSlot",

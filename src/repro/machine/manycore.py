@@ -16,9 +16,12 @@ from repro.config import MachineConfig
 from repro.core.bm_controller import RmwResult
 from repro.core.fabric import BroadcastFabric
 from repro.cpu.core import Core
+from repro.cpu.frames import FrameEnv
 from repro.cpu.thread import SimThread, ThreadContext, ThreadState
 from repro.errors import DeadlockError, WorkloadError
 from repro.isa import operations as ops
+from repro.isa.predicates import Eq
+from repro.sync.frames import SYNC_ROUTINES
 from repro.machine.results import SimResult
 from repro.mem.hierarchy import MemorySystem
 from repro.noc.mesh import MeshNetwork
@@ -136,6 +139,13 @@ class Manycore:
         self.scheduler = Scheduler(config.num_cores)
         self.threads: List[SimThread] = []
         self.programs: List[Program] = []
+        # Frames-mode support: synchronization objects registered by creation
+        # order (frames reference them by stable ``sync_id``) and the routine
+        # table the trampoline resolves step functions from.  Both are
+        # rebuilt identically by a deterministic workload build, which is
+        # what lets a native restore re-attach captured frame stacks.
+        self.sync_objects: List[Any] = []
+        self.frame_routines: Dict[str, Callable] = dict(SYNC_ROUTINES)
         self._finished = 0
         self._soft_bm_next = 0
         self._ran = False
@@ -170,6 +180,29 @@ class Manycore:
         self._dispatch_get = self._dispatch_table.get
 
     # -------------------------------------------------------------- programs
+    def register_sync(self, obj: Any) -> int:
+        """Give a synchronization object a stable creation-order id.
+
+        Frame locals refer to primitives by this id instead of holding the
+        object, keeping frames plain data; the snapshot codec uses the same
+        ids to capture and restore primitive-internal state (sense flags,
+        MCS queue nodes).
+        """
+        sync_id = len(self.sync_objects)
+        obj.sync_id = sync_id
+        self.sync_objects.append(obj)
+        return sync_id
+
+    def register_frame_routine(self, name: str, step: Callable) -> None:
+        """Register a workload-built routine (closure over build constants).
+
+        Build functions are deterministic, so a restore rebuilds the exact
+        same routines under the exact same names before frames re-attach.
+        """
+        if name in self.frame_routines:
+            raise WorkloadError(f"frame routine {name!r} is already registered")
+        self.frame_routines[name] = step
+
     def new_program(self, name: str = "program") -> Program:
         process = self.process_table.spawn(name)
         program = Program(self, process.pid, name)
@@ -193,6 +226,8 @@ class Manycore:
             rng=self.rng.child(f"thread{thread_id}"),
         )
         thread = SimThread(thread_id, core_id, program.pid, body, context)
+        thread.bind_resume(self._advance)
+        thread.frame_env = FrameEnv(self, thread)
         self.threads.append(thread)
         program.threads.append(thread)
         self.process_table.get(program.pid).add_thread(thread_id)
@@ -308,7 +343,7 @@ class Manycore:
         if thread.state is ThreadState.FINISHED:
             return
         try:
-            operation = thread.generator.send(value)
+            operation = thread.send(value)
         except StopIteration as stop:
             thread.state = ThreadState.FINISHED
             thread.finish_cycle = self.sim.now
@@ -379,10 +414,7 @@ class Manycore:
         self._schedule(stall, self._advance, thread, (old, success))
 
     def _op_wait_until(self, thread: SimThread, op: ops.WaitUntil) -> None:
-        self.memory.wait_until(
-            thread.core_id, op.addr, op.predicate,
-            lambda value, _t=thread: self._advance(_t, value),
-        )
+        self.memory.wait_until(thread.core_id, op.addr, op.predicate, thread.resume)
 
     # -------------------------------------------------- BM dispatch helpers
     def _bm_is_soft(self, addr: int) -> bool:
@@ -430,9 +462,7 @@ class Manycore:
             self._resume(thread, completion - self.sim.now)
             return
         node = self.fabric.nodes[thread.core_id]
-        node.bm_controller.store(
-            op.addr, op.value, lambda cycle, _t=thread: self._advance(_t, None)
-        )
+        node.bm_controller.store(op.addr, op.value, thread.resume_none)
 
     def _handle_bm_bulk_load(self, thread: SimThread, op: ops.BmBulkLoad) -> None:
         if self._bm_is_soft(op.addr):
@@ -462,9 +492,7 @@ class Manycore:
             self._resume(thread, completion - self.sim.now)
             return
         node = self.fabric.nodes[thread.core_id]
-        node.bm_controller.bulk_store(
-            op.addr, values, lambda cycle, _t=thread: self._advance(_t, None)
-        )
+        node.bm_controller.bulk_store(op.addr, values, thread.resume_none)
 
     def _handle_bm_rmw(self, thread: SimThread, op: ops.BmRmw) -> None:
         if self._bm_is_soft(op.addr):
@@ -482,11 +510,7 @@ class Manycore:
             return
         node = self.fabric.nodes[thread.core_id]
         node.bm_controller.rmw(
-            op.addr,
-            op.kind,
-            lambda result, _t=thread: self._advance(_t, result),
-            operand=op.operand,
-            expected=op.expected,
+            op.addr, op.kind, thread.resume, operand=op.operand, expected=op.expected
         )
 
     def _handle_bm_wait(self, thread: SimThread, op: ops.BmWaitUntil) -> None:
@@ -495,12 +519,10 @@ class Manycore:
                 thread.core_id,
                 self._soft_bm_cached_addr(op.addr),
                 op.predicate,
-                lambda value, _t=thread: self._advance(_t, value),
+                thread.resume,
             )
             return
-        self.fabric.wait_until(
-            op.addr, op.predicate, lambda value, _t=thread: self._advance(_t, value)
-        )
+        self.fabric.wait_until(op.addr, op.predicate, thread.resume)
 
     # ------------------------------------------------- tone dispatch helpers
     def _require_tone(self, thread: SimThread) -> None:
@@ -533,11 +555,7 @@ class Manycore:
 
     def _handle_tone_wait(self, thread: SimThread, op: ops.ToneWait) -> None:
         self._require_tone(thread)
-        self.fabric.wait_until(
-            op.addr,
-            lambda value, sense=op.local_sense: value == sense,
-            lambda value, _t=thread: self._advance(_t, value),
-        )
+        self.fabric.wait_until(op.addr, Eq(op.local_sense), thread.resume)
 
     # --------------------------------------------------------------- results
     def _build_result(self, truncated: bool = False) -> SimResult:

@@ -25,6 +25,10 @@
     python -m repro snapshot save --workload tightloop --param iterations=100 --events 100000
     python -m repro snapshot restore <spec-key>.snapshot.json
     python -m repro snapshot inspect <spec-key>.snapshot.json
+    python -m repro run fig7 --checkpoint-every 200000 --auto-snapshot 8 --run-id nightly
+    python -m repro debug --workload tightloop --param iterations=200 \\
+        --exec 'step 20000; threads; back; inspect; quit'
+    python -m repro debug --from .wisync-runs/nightly/checkpoints/<key>.ring-000000400000.ckpt.json
     python -m repro serve --bind 0.0.0.0:7787 --http 0.0.0.0:7788 --journal /var/lib/wisync --cache /var/lib/wisync-cache
     python -m repro run fig7 --quick --submit http://sweephost:7788
     python -m repro jobs list http://sweephost:7788
@@ -56,7 +60,12 @@ grid, skips grid points the manifest already recorded, and — when the run
 used ``--checkpoint-every N`` — fast-forwards the spec that was mid-flight
 from its last checkpoint.  ``snapshot save/restore/inspect`` exposes single-
 simulation checkpoints directly; restores are verified bit-for-bit against
-the snapshot's captured engine/rng/stats state.
+the snapshot's captured engine/rng/stats state.  ``debug`` opens a
+time-travel session on one spec: stepping forward banks an auto-snapshot
+ring, stepping backward restores the nearest banked moment — O(1) for
+frame-ported workloads via the native strategy, deterministic replay
+otherwise.  ``run --auto-snapshot K`` leaves the same ring files behind in
+the run's ``checkpoints/`` directory for post-hoc ``debug --from``.
 """
 
 from __future__ import annotations
@@ -448,6 +457,13 @@ def build_parser() -> argparse.ArgumentParser:
              "distributed sweeps), so a killed run resumes mid-spec",
     )
     run_parser.add_argument(
+        "--auto-snapshot", type=int, default=None, metavar="K",
+        help="bank each periodic checkpoint as a ring file in the run's "
+             "checkpoints/ directory, pruned to the last K per grid point "
+             "(needs --checkpoint-every; serial sweeps), so 'repro debug "
+             "--from <ring file>' can time-travel a finished or crashed run",
+    )
+    run_parser.add_argument(
         "--journal", action="store_true",
         help="write-ahead journal the broker's task state into the run "
              "directory (--distributed/--bind sweeps), so a SIGKILL'd sweep "
@@ -737,6 +753,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="abort the drill after this long (default 600)",
     )
 
+    def add_spec_arguments(
+        parser: argparse.ArgumentParser, workload_required: bool = True
+    ) -> None:
+        """Single-simulation spec flags shared by ``snapshot save`` and ``debug``."""
+        parser.add_argument(
+            "--workload", required=workload_required, default=None,
+            help="registered workload name",
+        )
+        parser.add_argument("--config", default="WiSync", help="Table 2 configuration")
+        parser.add_argument("--cores", type=int, default=16, help="core count")
+        parser.add_argument("--seed", type=int, default=None, help="root seed")
+        parser.add_argument("--variant", default=None, help="sensitivity variant")
+        parser.add_argument(
+            "--max-cycles", type=int, default=None, help="cycle budget for the spec"
+        )
+        parser.add_argument(
+            "--param", action="append", default=[], metavar="KEY=VALUE",
+            help="workload parameter (repeatable; VALUE parsed as JSON, else string)",
+        )
+
     snapshot_parser = subparsers.add_parser(
         "snapshot",
         help="save, restore, or inspect a single simulation checkpoint",
@@ -745,18 +781,7 @@ def build_parser() -> argparse.ArgumentParser:
     snap_save = snapshot_sub.add_parser(
         "save", help="run one spec for N events and write its snapshot"
     )
-    snap_save.add_argument("--workload", required=True, help="registered workload name")
-    snap_save.add_argument("--config", default="WiSync", help="Table 2 configuration")
-    snap_save.add_argument("--cores", type=int, default=16, help="core count")
-    snap_save.add_argument("--seed", type=int, default=None, help="root seed")
-    snap_save.add_argument("--variant", default=None, help="sensitivity variant")
-    snap_save.add_argument(
-        "--max-cycles", type=int, default=None, help="cycle budget for the spec"
-    )
-    snap_save.add_argument(
-        "--param", action="append", default=[], metavar="KEY=VALUE",
-        help="workload parameter (repeatable; VALUE parsed as JSON, else string)",
-    )
+    add_spec_arguments(snap_save)
     snap_save.add_argument(
         "--events", type=int, required=True, metavar="N",
         help="snapshot after exactly N simulation events",
@@ -777,6 +802,33 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="validate a snapshot file and print its summary"
     )
     snap_inspect.add_argument("path", help="snapshot file")
+
+    debug_parser = subparsers.add_parser(
+        "debug",
+        help="time-travel debugger: step a simulation forward and backward "
+             "on an auto-snapshot ring (O(1) backward for frame-ported "
+             "workloads)",
+    )
+    add_spec_arguments(debug_parser, workload_required=False)
+    debug_parser.add_argument(
+        "--from", dest="from_snapshot", default=None, metavar="PATH",
+        help="start from a snapshot file (e.g. a --auto-snapshot ring file) "
+             "instead of building the spec from scratch",
+    )
+    debug_parser.add_argument(
+        "--interval", type=int, default=None, metavar="EVENTS",
+        help="auto-snapshot cadence while stepping forward (default 5000)",
+    )
+    debug_parser.add_argument(
+        "--ring", type=int, default=None, metavar="K",
+        help="how many auto-snapshots to keep reachable (default 16; the "
+             "session's starting point is always reachable on top)",
+    )
+    debug_parser.add_argument(
+        "--exec", dest="script", default=None, metavar="'CMD; CMD; ...'",
+        help="run a ';'-separated command script and exit instead of "
+             "reading commands interactively from stdin",
+    )
 
     scenarios_parser = subparsers.add_parser(
         "scenarios", help="list the contention-scenario catalog (workloads, knobs, examples)"
@@ -927,6 +979,7 @@ def _build_executor(
     checkpoint_every: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     journal_dir: Optional[str] = None,
+    auto_snapshot: Optional[int] = None,
 ):
     spec_deadline = getattr(args, "spec_deadline", None)
     sweep_deadline = getattr(args, "sweep_deadline", None)
@@ -988,6 +1041,7 @@ def _build_executor(
     return SerialExecutor(
         checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
         spec_deadline=spec_deadline, sweep_deadline=sweep_deadline,
+        auto_snapshot=auto_snapshot,
     )
 
 
@@ -1005,6 +1059,25 @@ def _build_runner(args: argparse.Namespace, manifest: Optional[Any] = None):
     # even without --checkpoint-every a resumed serial sweep fast-forwards any
     # mid-spec checkpoint the previous invocation left behind.
     checkpoint_dir = str(manifest.checkpoint_dir) if manifest is not None else None
+    auto_snapshot = getattr(args, "auto_snapshot", None)
+    if auto_snapshot is not None:
+        if auto_snapshot < 1:
+            raise ReproError(f"--auto-snapshot must be >= 1, got {auto_snapshot}")
+        if checkpoint_every is None:
+            raise ReproError(
+                "--auto-snapshot banks the periodic checkpoints; it needs "
+                "--checkpoint-every"
+            )
+        if checkpoint_dir is None:
+            raise ReproError(
+                "--auto-snapshot stores its ring files in the run's "
+                "checkpoints/ directory; drop --no-manifest"
+            )
+        if args.distributed > 0 or args.bind or getattr(args, "submit", None):
+            raise ReproError(
+                "--auto-snapshot rings are written by the sweep process "
+                "itself; run serially (no --distributed/--bind/--submit)"
+            )
     journal_dir = None
     if getattr(args, "journal", False):
         if not (args.distributed > 0 or args.bind):
@@ -1019,7 +1092,9 @@ def _build_runner(args: argparse.Namespace, manifest: Optional[Any] = None):
             )
         journal_dir = str(manifest.journal_dir)
     counting = _CountingExecutor(
-        _build_executor(args, checkpoint_every, checkpoint_dir, journal_dir)
+        _build_executor(
+            args, checkpoint_every, checkpoint_dir, journal_dir, auto_snapshot
+        )
     )
     cache = ResultCache(args.cache) if args.cache else None
     hooks: List[Callable[[SpecProgress], None]] = []
@@ -1285,8 +1360,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_snapshot(args: argparse.Namespace) -> int:
+def _spec_from_args(args: argparse.Namespace):
+    """Build the single-simulation RunSpec from ``add_spec_arguments`` flags."""
     from repro.runner.spec import DEFAULT_SEED, RunSpec
+
+    params: Dict[str, Any] = {}
+    for entry in args.param:
+        key, separator, raw = entry.partition("=")
+        if not separator or not key:
+            raise ReproError(f"--param must look like KEY=VALUE, got {entry!r}")
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+    return RunSpec(
+        workload=args.workload,
+        params=tuple(params.items()),
+        config=args.config,
+        num_cores=args.cores,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        max_cycles=args.max_cycles,
+        variant=args.variant,
+    )
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
     from repro.snapshot import (
         load_snapshot,
         resume_to_completion,
@@ -1295,24 +1393,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     )
 
     if args.snapshot_command == "save":
-        params: Dict[str, Any] = {}
-        for entry in args.param:
-            key, separator, raw = entry.partition("=")
-            if not separator or not key:
-                raise ReproError(f"--param must look like KEY=VALUE, got {entry!r}")
-            try:
-                params[key] = json.loads(raw)
-            except ValueError:
-                params[key] = raw
-        spec = RunSpec(
-            workload=args.workload,
-            params=tuple(params.items()),
-            config=args.config,
-            num_cores=args.cores,
-            seed=args.seed if args.seed is not None else DEFAULT_SEED,
-            max_cycles=args.max_cycles,
-            variant=args.variant,
-        )
+        spec = _spec_from_args(args)
         snapshot = snapshot_after(spec, args.events)
         path = args.output or f"{spec.key()[:12]}.snapshot.json"
         save_snapshot(snapshot, path)
@@ -1327,9 +1408,11 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         print(json.dumps(snapshot.describe(), indent=2, sort_keys=True))
         return 0
     result = resume_to_completion(snapshot)
+    replayed = int(result.extra.get("events_replayed", 0.0))
     print(
         f"restored [{snapshot.spec.label()}] from {snapshot.events_processed} "
-        f"events; finished at {result.total_cycles} cycles, "
+        f"events via {snapshot.strategy} restore ({replayed} events "
+        f"replayed); finished at {result.total_cycles} cycles, "
         f"{result.events_processed} events, completed={result.completed}",
         file=sys.stderr,
     )
@@ -1338,6 +1421,47 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
             json.dumps(result.to_dict(), indent=2, sort_keys=True), args.json
         )
     return 0
+
+
+def _cmd_debug(args: argparse.Namespace) -> int:
+    from repro.snapshot import load_snapshot
+    from repro.snapshot.debugger import (
+        DEFAULT_INTERVAL,
+        DEFAULT_RING,
+        DebugSession,
+        TimeTravelDebugger,
+        script_commands,
+    )
+
+    if (args.workload is None) == (args.from_snapshot is None):
+        raise ReproError(
+            "debug starts from exactly one of --workload (fresh spec) or "
+            "--from (snapshot file)"
+        )
+    if args.from_snapshot is not None:
+        debugger = TimeTravelDebugger(
+            snapshot=load_snapshot(args.from_snapshot),
+            interval=args.interval or DEFAULT_INTERVAL,
+            capacity=args.ring or DEFAULT_RING,
+        )
+    else:
+        debugger = TimeTravelDebugger(
+            spec=_spec_from_args(args),
+            interval=args.interval or DEFAULT_INTERVAL,
+            capacity=args.ring or DEFAULT_RING,
+        )
+    session = DebugSession(debugger)
+    if args.script is not None:
+        return session.run(script_commands(args.script))
+
+    def _stdin_commands() -> Iterator[str]:
+        while True:
+            try:
+                yield input("(repro-debug) ")
+            except EOFError:
+                return
+
+    return session.run(_stdin_commands())
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -1436,6 +1560,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_chaos(args)
         if args.command == "snapshot":
             return _cmd_snapshot(args)
+        if args.command == "debug":
+            return _cmd_debug(args)
         if args.command == "report":
             return _cmd_report(args)
         if args.command == "compare":

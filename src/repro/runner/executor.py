@@ -72,6 +72,7 @@ def execute_spec(
     spec: RunSpec,
     checkpoint_every: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
+    auto_snapshot: Optional[int] = None,
 ) -> SimResult:
     """Run one spec end-to-end: config -> machine -> workload -> SimResult.
 
@@ -91,7 +92,10 @@ def execute_spec(
         from repro.snapshot import execute_with_checkpoints
 
         return execute_with_checkpoints(
-            spec, checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir
+            spec,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            auto_snapshot=auto_snapshot,
         )
 
     from repro.machine.manycore import Manycore
@@ -241,6 +245,7 @@ class SerialExecutor(_ExecutorBase):
         checkpoint_dir: Optional[str] = None,
         spec_deadline: Optional[float] = None,
         sweep_deadline: Optional[float] = None,
+        auto_snapshot: Optional[int] = None,
     ) -> None:
         if spec_deadline is not None and spec_deadline <= 0:
             raise ConfigurationError("spec_deadline must be positive seconds")
@@ -250,6 +255,7 @@ class SerialExecutor(_ExecutorBase):
         self.checkpoint_dir = checkpoint_dir
         self.spec_deadline = spec_deadline
         self.sweep_deadline = sweep_deadline
+        self.auto_snapshot = auto_snapshot
 
     def run_iter(
         self, specs: Sequence[RunSpec]
@@ -262,6 +268,7 @@ class SerialExecutor(_ExecutorBase):
                     spec,
                     checkpoint_every=self.checkpoint_every,
                     checkpoint_dir=self.checkpoint_dir,
+                    auto_snapshot=self.auto_snapshot,
                 )
             return
         from repro.snapshot import ExecutionPreempted, execute_with_checkpoints
@@ -291,6 +298,7 @@ class SerialExecutor(_ExecutorBase):
                     spec,
                     checkpoint_every=self.checkpoint_every,
                     checkpoint_dir=self.checkpoint_dir,
+                    auto_snapshot=self.auto_snapshot,
                     should_stop=lambda: time.monotonic() >= deadline,
                 )
             except ExecutionPreempted as preempted:

@@ -100,8 +100,91 @@ PROFILE_SWEEPS: Dict[str, Callable[[bool], SweepSpec]] = {
 }
 
 
+#: Snapshot-restore micro-benchmark cut points (fractions of the full run).
+RESTORE_CUTS = (0.10, 0.50, 0.90)
+
+
 def profile_names() -> List[str]:
-    return sorted(PROFILE_SWEEPS)
+    return sorted([*PROFILE_SWEEPS, "restore"])
+
+
+def _restore_spec(quick: bool):
+    """The pinned frame-ported spec the restore micro-benchmark cuts up."""
+    from repro.runner.spec import RunSpec
+
+    return RunSpec(
+        workload="tightloop",
+        params={"iterations": 30 if quick else 100},
+        config="WiSync",
+        num_cores=16,
+        seed=7,
+    )
+
+
+def _time_restore(snapshot) -> float:
+    from repro.snapshot import SpecExecution
+
+    started = time.perf_counter()
+    SpecExecution.from_snapshot(snapshot)
+    return time.perf_counter() - started
+
+
+def _run_restore_profile(quick: bool, repeats: int) -> Dict[str, object]:
+    """Benchmark ``SpecExecution.from_snapshot``: native vs forced replay.
+
+    For each pinned cut fraction the same capture is restored both ways —
+    once through the native O(state) codec and once with the strategy
+    downgraded to replay (machine payload dropped), which fast-forwards
+    ``cut`` events.  Native restore cost should be flat across cuts while
+    replay grows with the cut depth; the headline ``events_per_sec`` is the
+    number of simulated events the native restores *skipped* per second of
+    restore work, so a regression that degrades native restore (or silently
+    falls back to replay) collapses the metric and trips the CI gate.
+    """
+    from repro.snapshot import STRATEGY_REPLAY, Snapshot, snapshot_after
+
+    spec = _restore_spec(quick)
+    total = execute_spec(spec).events_processed
+    cuts: List[Dict[str, object]] = []
+    native_events = 0
+    native_wall = 0.0
+    for fraction in RESTORE_CUTS:
+        cut = max(1, min(int(total * fraction), total - 1))
+        native_snap = snapshot_after(spec, cut)
+        replay_snap = Snapshot(
+            spec=native_snap.spec,
+            events_processed=cut,
+            clock=native_snap.clock,
+            strategy=STRATEGY_REPLAY,
+            native=native_snap.native,
+        )
+        native_best = min(_time_restore(native_snap) for _ in range(repeats))
+        replay_best = min(_time_restore(replay_snap) for _ in range(repeats))
+        native_events += cut
+        native_wall += native_best
+        cuts.append({
+            "fraction": fraction,
+            "events": cut,
+            "native_seconds": round(native_best, 6),
+            "replay_seconds": round(replay_best, 6),
+            "replay_over_native": (
+                round(replay_best / native_best, 1) if native_best > 0 else None
+            ),
+        })
+    return {
+        "experiment": "restore",
+        "quick": quick,
+        "grid_points": len(cuts),
+        "repeats": repeats,
+        "events": native_events,
+        "wall_seconds": round(native_wall, 6),
+        "events_per_sec": round(native_events / native_wall, 1),
+        "total_events": total,
+        "spec": spec.label(),
+        "cuts": cuts,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
 
 
 def run_profile(
@@ -110,12 +193,14 @@ def run_profile(
     repeats: int = 3,
 ) -> Dict[str, object]:
     """Time the pinned sweep for ``experiment``; return the benchmark record."""
+    if repeats < 1:
+        raise ReproError("--repeats must be at least 1")
+    if experiment == "restore":
+        return _run_restore_profile(quick, repeats)
     if experiment not in PROFILE_SWEEPS:
         raise ReproError(
             f"no profile sweep for {experiment!r}; choices: {profile_names()}"
         )
-    if repeats < 1:
-        raise ReproError("--repeats must be at least 1")
     sweep = PROFILE_SWEEPS[experiment](quick)
     specs = list(sweep)
     runs: List[Dict[str, float]] = []
@@ -205,6 +290,13 @@ def format_record(record: Dict[str, object]) -> str:
         f"best of {record['repeats']}: {record['wall_seconds']}s wall, "
         f"{float(record['events_per_sec']):,.0f} events/sec",
     ]
+    for cut in record.get("cuts") or []:
+        lines.append(
+            f"  cut {float(cut['fraction']):.0%} ({cut['events']:,} events): "
+            f"native {float(cut['native_seconds']) * 1e3:.2f}ms, "
+            f"replay {float(cut['replay_seconds']) * 1e3:.2f}ms "
+            f"({cut['replay_over_native']}x)"
+        )
     return "\n".join(lines)
 
 

@@ -17,9 +17,12 @@ Two cooperating strategies sit behind one :class:`Snapshot` API:
   produce a wrong continuation.
 
 The package also provides :class:`RunManifest` — the on-disk record behind
-``repro run --resume <run-id>`` grid-level resumability — and the
+``repro run --resume <run-id>`` grid-level resumability — the
 checkpoint-file helpers used by ``execute_spec(checkpoint_every=...)``, the
-distributed worker's checkpoint shipping, and the ``repro snapshot`` CLI.
+distributed worker's checkpoint shipping, and the ``repro snapshot`` CLI,
+plus :class:`CheckpointRing` (the bounded auto-snapshot buffer behind
+``repro run --auto-snapshot`` and the ``repro debug`` time-travel
+debugger in :mod:`repro.snapshot.debugger`).
 """
 
 from repro.snapshot.execution import (
@@ -45,6 +48,7 @@ from repro.snapshot.format import (
     snapshot_document,
     try_load_snapshot,
 )
+from repro.snapshot.ring import CheckpointRing, RingEntry, ring_path, ring_paths
 from repro.snapshot.manifest import (
     DEFAULT_RUNS_DIR,
     RUNS_DIR_ENV,
@@ -74,6 +78,10 @@ __all__ = [
     "run_prefix",
     "snapshot_after",
     "resume_to_completion",
+    "CheckpointRing",
+    "RingEntry",
+    "ring_path",
+    "ring_paths",
     "RunManifest",
     "available_runs",
     "DEFAULT_RUNS_DIR",

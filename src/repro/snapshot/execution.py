@@ -8,15 +8,19 @@ captured between slices (:meth:`capture`), preempted cooperatively
 a pure function of its queue state, so a sliced run produces bit-identical
 results to an uninterrupted one.
 
-Restore is deterministic-replay fast-forward: rebuild the machine from the
-spec and advance it exactly ``snapshot.events_processed`` events.  Because
+Restore comes in two strategies.  Workloads whose threads run on
+serializable frame stacks capture the complete machine state
+(:func:`repro.snapshot.native.capture_machine`) and restore in O(state)
+without replaying a single event (:data:`STRATEGY_NATIVE`).  Everything
+else falls back to deterministic-replay fast-forward: rebuild the machine
+from the spec and advance it exactly ``snapshot.events_processed`` events
+(:data:`STRATEGY_REPLAY`).  Both paths land on the same machine because
 every source of randomness flows through seeded
-:class:`~repro.sim.rng.DeterministicRng` streams, the fast-forwarded machine
-is bit-identical to the captured one — and :meth:`_verify_native` proves it
-by comparing engine counters, the whole rng tree state, stats, and
-per-thread progress against the snapshot's native payload, raising
-:class:`SnapshotError` on any divergence (e.g. the simulator code changed
-between save and restore).
+:class:`~repro.sim.rng.DeterministicRng` streams — and :meth:`_verify_native`
+proves it by comparing engine counters, the whole rng tree state, stats,
+thread frame stacks, sync-object fingerprints, and per-thread progress
+against the snapshot's native payload, raising :class:`SnapshotError` on any
+divergence (e.g. the simulator code changed between save and restore).
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ from repro.snapshot.format import (
     save_snapshot,
     try_load_snapshot,
 )
+from repro.snapshot.native import capture_machine, restore_machine, sync_fingerprint
 
 #: Default event budget, shared with :meth:`Manycore.run`.
 DEFAULT_MAX_EVENTS = Manycore.DEFAULT_MAX_EVENTS
@@ -77,6 +82,11 @@ class SpecExecution:
         self.machine = Manycore(build_config_for(spec))
         self.handle = REGISTRY.build(self.machine, spec.workload, spec.params_dict())
         self.machine.begin()
+        #: How this execution came to life: ``None`` for a fresh run, the
+        #: snapshot strategy for a restored one (stamped into result.extra).
+        self.restore_strategy: Optional[str] = None
+        #: Events re-fired to reach the snapshot point (0 for native restores).
+        self.events_replayed: int = 0
 
     # ------------------------------------------------------------- stepping
     @property
@@ -115,6 +125,12 @@ class SpecExecution:
         operations = self.handle.metadata.get("operations")
         if operations is not None and result.completed:
             result.extra.setdefault("operations", float(operations))
+        if self.restore_strategy is not None:
+            result.extra.setdefault(
+                "native_restore",
+                1.0 if self.restore_strategy == STRATEGY_NATIVE else 0.0,
+            )
+            result.extra.setdefault("events_replayed", float(self.events_replayed))
         return result
 
     # -------------------------------------------------------------- capture
@@ -126,21 +142,41 @@ class SpecExecution:
             "stats": machine.stats.to_dict(),
             "finished_threads": machine._finished,
             "thread_operations": [t.operations_issued for t in machine.threads],
+            "thread_frames": [
+                None
+                if thread.frames is None
+                else [[frame.routine, frame.label] for frame in thread.frames]
+                for thread in machine.threads
+            ],
+            "sync_objects": [sync_fingerprint(obj) for obj in machine.sync_objects],
         }
 
     def capture(self) -> Snapshot:
-        """Snapshot the live run at the current slice boundary."""
+        """Snapshot the live run at the current slice boundary.
+
+        Tries the native strategy first (full machine payload, O(state)
+        restore); workloads whose live state is not natively serializable —
+        generator-based thread bodies, opaque callbacks — fall back to the
+        universal replay strategy transparently.
+        """
         if self.complete():
             raise SnapshotError(
                 "nothing to checkpoint: the run already ended "
                 f"(after {self.events_processed} events)"
             )
+        try:
+            machine_payload: Optional[Dict[str, Any]] = capture_machine(self.machine)
+            strategy = STRATEGY_NATIVE
+        except SnapshotError:
+            machine_payload = None
+            strategy = STRATEGY_REPLAY
         return Snapshot(
             spec=self.spec,
             events_processed=self.events_processed,
             clock=self.clock,
-            strategy=STRATEGY_REPLAY,
+            strategy=strategy,
             native=self._native_state(),
+            machine=machine_payload,
         )
 
     # -------------------------------------------------------------- restore
@@ -157,18 +193,26 @@ class SpecExecution:
         execution = cls(snapshot.spec, max_events=max_events)
         if snapshot.strategy == STRATEGY_REPLAY:
             execution._replay_to(snapshot)
+            execution.events_replayed = snapshot.events_processed
         elif snapshot.strategy == STRATEGY_NATIVE:
-            # Reserved strategy: no current workload can restore natively
-            # (thread bodies are live generator frames).  A native-strategy
-            # document therefore comes from a foreign or future producer.
-            raise SnapshotError(
-                f"snapshot for [{snapshot.spec.label()}] declares native-state "
-                f"restore, which this build cannot honour (workload threads "
-                f"hold live generator frames); re-create the checkpoint with "
-                f"the {STRATEGY_REPLAY!r} strategy"
-            )
+            if not snapshot.machine:
+                raise SnapshotError(
+                    f"snapshot for [{snapshot.spec.label()}] declares "
+                    f"native-state restore but carries no machine payload; "
+                    f"re-create the checkpoint"
+                )
+            try:
+                restore_machine(execution.machine, snapshot.machine)
+            except SnapshotError:
+                raise
+            except (KeyError, TypeError, ValueError, IndexError) as error:
+                raise SnapshotError(
+                    f"malformed native machine payload for "
+                    f"[{snapshot.spec.label()}]: {error}"
+                )
         else:  # unreachable: Snapshot.__post_init__ validates the strategy
             raise SnapshotError(f"unknown snapshot strategy {snapshot.strategy!r}")
+        execution.restore_strategy = snapshot.strategy
         execution._verify_native(snapshot)
         return execution
 
@@ -252,6 +296,7 @@ def execute_with_checkpoints(
     resume_from: Optional[Snapshot] = None,
     should_stop: Optional[Callable[[], bool]] = None,
     on_checkpoint: Optional[Callable[[Snapshot], None]] = None,
+    auto_snapshot: Optional[int] = None,
 ) -> SimResult:
     """Run one spec with checkpointing, resuming from prior state if any.
 
@@ -265,6 +310,10 @@ def execute_with_checkpoints(
       (mirroring ResultCache's eviction of corrupt entries);
     * periodic capture — every ``checkpoint_every`` events the snapshot is
       written to ``checkpoint_dir`` and/or passed to ``on_checkpoint``;
+    * auto-snapshot ring — with ``auto_snapshot=K`` each periodic snapshot
+      is *also* banked as a ring file in ``checkpoint_dir`` (pruned to the
+      last K), leaving a time-travel trail for ``repro debug --from`` that
+      survives the spec's completion;
     * cooperative preemption — ``should_stop`` ends the run between slices
       with :class:`ExecutionPreempted`; the final snapshot is persisted to
       ``checkpoint_dir`` before the exception propagates.
@@ -276,6 +325,18 @@ def execute_with_checkpoints(
     path = (
         checkpoint_path(checkpoint_dir, spec) if checkpoint_dir is not None else None
     )
+    ring = None
+    if auto_snapshot is not None:
+        if checkpoint_dir is None:
+            raise SnapshotError(
+                "auto_snapshot banks ring files into the checkpoint "
+                "directory; none was given"
+            )
+        from repro.snapshot.ring import CheckpointRing
+
+        ring = CheckpointRing(
+            auto_snapshot, directory=checkpoint_dir, keep_in_memory=False
+        )
 
     snapshot = resume_from
     reason: Optional[str] = None
@@ -309,10 +370,16 @@ def execute_with_checkpoints(
     def _sink(snap: Snapshot) -> None:
         if path is not None:
             save_snapshot(snap, path)
+        if ring is not None:
+            ring.push(snap)
         if on_checkpoint is not None:
             on_checkpoint(snap)
 
-    sink = _sink if (path is not None or on_checkpoint is not None) else None
+    sink = (
+        _sink
+        if (path is not None or ring is not None or on_checkpoint is not None)
+        else None
+    )
     try:
         result = execution.run_to_completion(
             checkpoint_every=checkpoint_every,
@@ -322,6 +389,8 @@ def execute_with_checkpoints(
     except ExecutionPreempted as preempted:
         if path is not None:
             save_snapshot(preempted.snapshot, path)
+        if ring is not None:
+            ring.push(preempted.snapshot)
         raise
     if path is not None:
         Path(path).unlink(missing_ok=True)

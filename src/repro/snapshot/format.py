@@ -2,7 +2,7 @@
 
 A snapshot file is a JSON envelope::
 
-    {"format": "wisync-snapshot", "version": 1,
+    {"format": "wisync-snapshot", "version": 2,
      "sha256": "<hash of canonical body>", "snapshot": {...body...}}
 
 The hash is computed over the canonical JSON form of the body (sorted keys,
@@ -31,15 +31,18 @@ from repro.runner.spec import RunSpec
 #: Document format marker; anything else is not a snapshot file.
 SNAPSHOT_FORMAT = "wisync-snapshot"
 #: Bump when the body layout changes; older/newer versions are rejected.
-SNAPSHOT_VERSION = 1
+#: Version 2 added the ``machine`` payload (full native machine state for
+#: frame-based workloads) and the thread-frame/sync sections of ``native``.
+SNAPSHOT_VERSION = 2
 
 #: Restore by re-running the spec to the recorded event count.  Universal:
 #: works for every workload because all randomness is seeded, and verified
 #: against the captured native state after the fast-forward.
 STRATEGY_REPLAY = "replay"
-#: Reserved: restore by rebuilding machine state directly from the captured
-#: payload.  No current workload qualifies (thread bodies are live generator
-#: frames), so loading a native-strategy snapshot raises a clear error.
+#: Restore by rebuilding machine state directly from the captured ``machine``
+#: payload — O(state) instead of O(events).  Available for workloads whose
+#: threads run on serializable frame stacks; the restored machine is checked
+#: against the ``native`` sections exactly like a replayed one.
 STRATEGY_NATIVE = "native"
 
 _STRATEGIES = (STRATEGY_REPLAY, STRATEGY_NATIVE)
@@ -69,6 +72,11 @@ class Snapshot:
     compared against the fast-forwarded machine on restore, so drift between
     the code that saved and the code that restores is detected instead of
     silently producing a wrong continuation.
+
+    ``machine`` is the full native-restore payload produced by
+    :func:`repro.snapshot.native.capture_machine`; it is present exactly when
+    ``strategy`` is :data:`STRATEGY_NATIVE` and lets a restore rebuild the
+    machine in O(state) without replaying a single event.
     """
 
     spec: RunSpec
@@ -76,6 +84,7 @@ class Snapshot:
     clock: int
     strategy: str = STRATEGY_REPLAY
     native: Dict[str, Any] = field(default_factory=dict)
+    machine: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in _STRATEGIES:
@@ -95,6 +104,7 @@ class Snapshot:
             "clock": self.clock,
             "strategy": self.strategy,
             "native": self.native,
+            "machine": self.machine,
         }
 
     @classmethod
@@ -107,6 +117,7 @@ class Snapshot:
                 clock=int(payload["clock"]),
                 strategy=payload.get("strategy", STRATEGY_REPLAY),
                 native=dict(payload.get("native") or {}),
+                machine=payload.get("machine"),
             )
         except SnapshotError:
             raise

@@ -36,18 +36,30 @@ class SyncFactory:
         self.config = sync_config if sync_config is not None else program.machine.config.sync
         self._machine_config = program.machine.config
 
+    def _register(self, obj):
+        """Give the primitive a stable creation-order ``sync_id``.
+
+        Frames-mode workloads refer to primitives by this id; because the
+        factory is driven by a deterministic build, ids are identical across
+        rebuilds, which native snapshot restore relies on.
+        """
+        self.program.machine.register_sync(obj)
+        return obj
+
     # ----------------------------------------------------------------- locks
     def create_lock(self) -> Lock:
         kind = self.config.lock_kind
         if kind == "cas_spin":
-            return CasSpinLock(self.program.alloc_shared())
+            return self._register(CasSpinLock(self.program.alloc_shared()))
         if kind == "mcs":
-            return McsLock(
-                tail_addr=self.program.alloc_shared(),
-                alloc_word=lambda: self.program.alloc_shared(),
+            return self._register(
+                McsLock(
+                    tail_addr=self.program.alloc_shared(),
+                    alloc_word=lambda: self.program.alloc_shared(),
+                )
             )
         if kind == "wireless":
-            return WirelessLock(self.program.alloc_broadcast())
+            return self._register(WirelessLock(self.program.alloc_broadcast()))
         raise ConfigurationError(f"unknown lock kind {kind!r}")
 
     def create_locks(self, count: int) -> List[Lock]:
@@ -71,38 +83,42 @@ class SyncFactory:
             num_cores = self._machine_config.num_cores
             participants = sorted({i % num_cores for i in range(num_threads)})
         if kind == "centralized":
-            return CentralizedBarrier(
-                num_threads,
-                count_addr=self.program.alloc_shared(),
-                release_addr=self.program.alloc_shared(),
+            return self._register(
+                CentralizedBarrier(
+                    num_threads,
+                    count_addr=self.program.alloc_shared(),
+                    release_addr=self.program.alloc_shared(),
+                )
             )
         if kind == "tournament":
             arrival = [self.program.alloc_shared() for _ in range(num_threads)]
             wakeup = [self.program.alloc_shared() for _ in range(num_threads)]
-            return TournamentBarrier(num_threads, arrival, wakeup)
+            return self._register(TournamentBarrier(num_threads, arrival, wakeup))
         if kind == "wireless":
-            return WirelessBarrier(
-                num_threads,
-                count_addr=self.program.alloc_broadcast(),
-                release_addr=self.program.alloc_broadcast(),
+            return self._register(
+                WirelessBarrier(
+                    num_threads,
+                    count_addr=self.program.alloc_broadcast(),
+                    release_addr=self.program.alloc_broadcast(),
+                )
             )
         if kind == "tone":
             bm_addr = self.program.alloc_broadcast(
                 1, tone_capable=True, participants=participants
             )
-            return ToneBarrier(num_threads, bm_addr)
+            return self._register(ToneBarrier(num_threads, bm_addr))
         raise ConfigurationError(f"unknown barrier kind {kind!r}")
 
     # ----------------------------------------------------------------- cells
     def create_cell(self) -> AtomicCell:
         """A shared atomic word in the fastest memory this machine offers."""
         if self.config.reduction_kind == "wireless":
-            return BroadcastCell(self.program.alloc_broadcast())
-        return CachedCell(self.program.alloc_shared())
+            return self._register(BroadcastCell(self.program.alloc_broadcast()))
+        return self._register(CachedCell(self.program.alloc_shared()))
 
     def create_cached_cell(self) -> AtomicCell:
         """A shared atomic word explicitly in cached memory (for baselines)."""
-        return CachedCell(self.program.alloc_shared())
+        return self._register(CachedCell(self.program.alloc_shared()))
 
     def create_reducer(self) -> Reducer:
         return Reducer(self.create_cell())

@@ -20,6 +20,7 @@ from typing import Dict, Generator, List
 
 from repro.cpu.thread import ThreadContext
 from repro.errors import SimulationError, WorkloadError
+from repro.isa.predicates import Eq
 from repro.isa.operations import (
     AtomicOp,
     BmRmw,
@@ -75,7 +76,7 @@ class CentralizedBarrier(Barrier):
             yield Write(self.count_addr, 0)
             yield Write(self.release_addr, sense)
         else:
-            yield WaitUntil(self.release_addr, lambda value, s=sense: value == s)
+            yield WaitUntil(self.release_addr, Eq(sense))
 
 
 class TournamentBarrier(Barrier):
@@ -104,10 +105,10 @@ class TournamentBarrier(Barrier):
         sense = self._toggle_sense(ctx.thread_id)
         tid = ctx.thread_id
         for child in self._children(tid):
-            yield WaitUntil(self.arrival_addrs[child], lambda value, s=sense: value == s)
+            yield WaitUntil(self.arrival_addrs[child], Eq(sense))
         if tid != 0:
             yield Write(self.arrival_addrs[tid], sense)
-            yield WaitUntil(self.wakeup_addrs[tid], lambda value, s=sense: value == s)
+            yield WaitUntil(self.wakeup_addrs[tid], Eq(sense))
         for child in self._children(tid):
             yield Write(self.wakeup_addrs[child], sense)
 
@@ -141,7 +142,7 @@ class WirelessBarrier(Barrier):
             yield BmStore(self.count_addr, 0)
             yield BmStore(self.release_addr, sense)
         else:
-            yield BmWaitUntil(self.release_addr, lambda value, s=sense: value == s)
+            yield BmWaitUntil(self.release_addr, Eq(sense))
 
 
 class ToneBarrier(Barrier):

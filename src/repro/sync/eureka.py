@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Generator
 
 from repro.cpu.thread import ThreadContext
+from repro.isa.predicates import Eq
 from repro.sync.cells import AtomicCell
 
 
@@ -46,4 +47,4 @@ class OrBarrier:
     def wait(self, ctx: ThreadContext) -> Generator:
         """Block until someone posts this episode."""
         sense = self._advance_sense(ctx.thread_id)
-        yield from self.cell.wait_until(ctx, lambda value, s=sense: value == s)
+        yield from self.cell.wait_until(ctx, Eq(sense))

@@ -17,6 +17,7 @@ from typing import Callable, Dict, Generator, Tuple
 
 from repro.cpu.thread import ThreadContext
 from repro.errors import SimulationError
+from repro.isa.predicates import Eq, Ne
 from repro.isa.operations import (
     AtomicOp,
     BmRmw,
@@ -56,7 +57,7 @@ class CasSpinLock(Lock):
                 return
             # Lock is held: spin locally on the cached copy until it is free,
             # then race again with CAS.
-            yield WaitUntil(self.addr, lambda value: value == 0)
+            yield WaitUntil(self.addr, Eq(0))
 
     def release(self, ctx: ThreadContext) -> Generator:
         yield Write(self.addr, 0)
@@ -92,7 +93,7 @@ class McsLock(Lock):
             return
         pred_locked, pred_next = self._qnode(predecessor - 1)
         yield Write(pred_next, my_handle)
-        yield WaitUntil(locked_addr, lambda value: value == 0)
+        yield WaitUntil(locked_addr, Eq(0))
 
     def release(self, ctx: ThreadContext) -> Generator:
         locked_addr, next_addr = self._qnode(ctx.thread_id)
@@ -106,7 +107,7 @@ class McsLock(Lock):
         # then hand the lock over by clearing its locked flag.
         successor = yield Read(next_addr)
         if successor == 0:
-            successor = yield WaitUntil(next_addr, lambda value: value != 0)
+            successor = yield WaitUntil(next_addr, Ne(0))
         succ_locked, _ = self._qnode(successor - 1)
         yield Write(succ_locked, 0)
 
@@ -129,7 +130,7 @@ class WirelessLock(Lock):
             if result.success:
                 return
             # Lock held: spin on the local BM replica (no wireless traffic).
-            yield BmWaitUntil(self.bm_addr, lambda value: value == 0)
+            yield BmWaitUntil(self.bm_addr, Eq(0))
         raise SimulationError(f"wireless lock at BM address {self.bm_addr} exceeded retry bound")
 
     def release(self, ctx: ThreadContext) -> Generator:

@@ -13,6 +13,7 @@ from typing import Generator, List, Sequence, Tuple
 
 from repro.cpu.thread import ThreadContext
 from repro.errors import WorkloadError
+from repro.isa.predicates import Eq
 from repro.isa.operations import (
     BmBulkLoad,
     BmBulkStore,
@@ -38,11 +39,11 @@ class ProducerConsumerChannel:
         """Publish four words; waits until the previous payload was consumed."""
         payload: Tuple[int, int, int, int] = self._payload(values)
         if self.wireless:
-            yield BmWaitUntil(self.flag_addr, lambda value: value == 0)
+            yield BmWaitUntil(self.flag_addr, Eq(0))
             yield BmBulkStore(self.data_addr, payload)
             yield BmStore(self.flag_addr, 1)
         else:
-            yield WaitUntil(self.flag_addr, lambda value: value == 0)
+            yield WaitUntil(self.flag_addr, Eq(0))
             for offset, value in enumerate(payload):
                 yield Write(self.data_addr + offset * 8, value)
             yield Write(self.flag_addr, 1)
@@ -51,11 +52,11 @@ class ProducerConsumerChannel:
     def consume(self, ctx: ThreadContext) -> Generator:
         """Wait for a payload, read it, and mark the slot empty; returns it."""
         if self.wireless:
-            yield BmWaitUntil(self.flag_addr, lambda value: value == 1)
+            yield BmWaitUntil(self.flag_addr, Eq(1))
             values = yield BmBulkLoad(self.data_addr)
             yield BmStore(self.flag_addr, 0)
             return tuple(values)
-        yield WaitUntil(self.flag_addr, lambda value: value == 1)
+        yield WaitUntil(self.flag_addr, Eq(1))
         values: List[int] = []
         for offset in range(4):
             value = yield Read(self.data_addr + offset * 8)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.cpu.thread import ThreadContext
+from repro.isa.predicates import Eq, Lt
 from repro.sync.cells import AtomicCell
 
 #: Lock-word value while a writer is inside (far above any reader count).
@@ -37,7 +38,7 @@ class ReadersWriterLock:
             value = yield from self.cell.read(ctx)
             if value >= WRITER_HELD:
                 # Writer inside: spin until it leaves, then race again.
-                yield from self.cell.wait_until(ctx, lambda v: v < WRITER_HELD)
+                yield from self.cell.wait_until(ctx, Lt(WRITER_HELD))
                 continue
             success, _ = yield from self.cell.cas(ctx, expected=value, new=value + 1)
             if success:
@@ -53,7 +54,7 @@ class ReadersWriterLock:
             if success:
                 return
             # Readers draining or another writer inside: wait for idle.
-            yield from self.cell.wait_until(ctx, lambda v: v == 0)
+            yield from self.cell.wait_until(ctx, Eq(0))
 
     def release_write(self, ctx: ThreadContext) -> Generator:
         yield from self.cell.write(ctx, 0)

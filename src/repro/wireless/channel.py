@@ -46,15 +46,27 @@ class WirelessMessage(NamedTuple):
 
 
 class _Attempt:
-    __slots__ = ("message", "on_complete", "on_collision", "enqueued_at", "cancelled", "started")
+    __slots__ = (
+        "attempt_id",
+        "message",
+        "on_complete",
+        "on_collision",
+        "enqueued_at",
+        "cancelled",
+        "started",
+    )
 
     def __init__(
         self,
+        attempt_id: int,
         message: WirelessMessage,
         on_complete: Callable[[WirelessMessage, int], None],
         on_collision: Callable[[WirelessMessage], int],
         enqueued_at: int,
     ) -> None:
+        #: Stable per-channel id so scheduled ``_complete`` events and the
+        #: per-cycle attempt lists can be snapshotted and re-linked.
+        self.attempt_id = attempt_id
         self.message = message
         self.on_complete = on_complete
         self.on_collision = on_collision
@@ -106,6 +118,7 @@ class DataChannel:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self._busy_until: int = 0
+        self._next_attempt_id = 0
         self._attempts_by_cycle: Dict[int, List[_Attempt]] = {}
         #: Cycles with an arbitration event already scheduled (set semantics:
         #: a cycle is either pending or not — no per-cycle flag values).
@@ -148,11 +161,13 @@ class DataChannel:
         now = self.sim.now
         start = max(now, self._busy_until, earliest if earliest is not None else now)
         attempt = _Attempt(
+            attempt_id=self._next_attempt_id,
             message=message,
             on_complete=on_complete,
             on_collision=on_collision,
             enqueued_at=now,
         )
+        self._next_attempt_id += 1
         self._register_attempt(start, attempt)
         return TransmissionHandle(attempt)
 

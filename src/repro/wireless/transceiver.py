@@ -20,17 +20,34 @@ from repro.wireless.channel import DataChannel, TransmissionHandle, WirelessMess
 
 
 class _PendingSend:
-    __slots__ = ("message", "on_complete", "handle", "done")
+    __slots__ = ("send_id", "message", "on_complete", "handle", "done")
 
     def __init__(
         self,
+        send_id: int,
         message: WirelessMessage,
         on_complete: Callable[[WirelessMessage, int], None],
     ) -> None:
+        #: Stable per-transceiver id; the snapshot codec uses ``(node,
+        #: send_id)`` to re-link channel attempts to their pending sends.
+        self.send_id = send_id
         self.message = message
         self.on_complete = on_complete
         self.handle: Optional[TransmissionHandle] = None
         self.done = False
+
+
+class _SendComplete:
+    """Describable completion hook the channel calls when a transfer lands."""
+
+    __slots__ = ("transceiver", "pending")
+
+    def __init__(self, transceiver: "Transceiver", pending: _PendingSend) -> None:
+        self.transceiver = transceiver
+        self.pending = pending
+
+    def __call__(self, message: WirelessMessage, cycle: int) -> None:
+        self.transceiver._on_complete(self.pending, message, cycle)
 
 
 class SendTicket:
@@ -67,6 +84,7 @@ class Transceiver:
         self.stats = stats if stats is not None else StatsRegistry()
         self._queue: Deque[_PendingSend] = deque()
         self._in_flight: Optional[_PendingSend] = None
+        self._next_send_id = 0
         self.sent_messages = 0
         self.collisions_seen = 0
         # Per-node flyweight stat handles, bound once per transceiver.
@@ -85,7 +103,7 @@ class Transceiver:
     ) -> SendTicket:
         """Broadcast a single-word BM store."""
         message = WirelessMessage(sender=self.node_id, bm_addr=bm_addr, value=value)
-        return self._enqueue(_PendingSend(message, on_complete))
+        return self._enqueue(self._new_pending(message, on_complete))
 
     def send_bulk_store(
         self,
@@ -101,7 +119,7 @@ class Transceiver:
             bulk=True,
             bulk_values=tuple(values),
         )
-        return self._enqueue(_PendingSend(message, on_complete))
+        return self._enqueue(self._new_pending(message, on_complete))
 
     def send_tone_init(
         self,
@@ -114,13 +132,18 @@ class Transceiver:
         (Section 4.2.2); the 64-bit data field is immaterial.
         """
         message = WirelessMessage(sender=self.node_id, bm_addr=bm_addr, value=0, tone_bit=True)
-        return self._enqueue(_PendingSend(message, on_complete))
+        return self._enqueue(self._new_pending(message, on_complete))
 
     @property
     def queue_depth(self) -> int:
         return len(self._queue) + (1 if self._in_flight is not None else 0)
 
     # ------------------------------------------------------------- internals
+    def _new_pending(self, message: WirelessMessage, on_complete: Callable) -> _PendingSend:
+        pending = _PendingSend(self._next_send_id, message, on_complete)
+        self._next_send_id += 1
+        return pending
+
     def _enqueue(self, pending: _PendingSend) -> SendTicket:
         self._queue.append(pending)
         self._pump()
@@ -137,7 +160,7 @@ class Transceiver:
         earliest = self.channel.sim.now + deferral if deferral > 0 else None
         pending.handle = self.channel.transmit(
             pending.message,
-            on_complete=lambda message, cycle, _p=pending: self._on_complete(_p, message, cycle),
+            on_complete=_SendComplete(self, pending),
             on_collision=self._on_collision,
             earliest=earliest,
         )

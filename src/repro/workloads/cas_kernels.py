@@ -20,11 +20,11 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
+from repro.cpu.frames import START, Call, FrameBody, Op, Ret
 from repro.isa.operations import Compute, Read, Write
 from repro.machine.manycore import Manycore
 from repro.runner.registry import register_workload
 from repro.sync.api import SyncFactory
-from repro.sync.cells import AtomicCell
 from repro.workloads.base import WorkloadHandle
 
 
@@ -41,15 +41,28 @@ def _instructions_to_cycles(instructions: int, issue_width: int) -> int:
     return max(1, instructions // max(1, issue_width))
 
 
-def _cas_insert(ctx, cell: AtomicCell, node_value: int):
-    """One successful lock-free insertion: read the pointer, CAS it forward."""
-    attempts = 0
-    while True:
-        attempts += 1
-        current = yield from cell.read(ctx)
-        success, _ = yield from cell.cas(ctx, expected=current, new=node_value)
-        if success:
-            return attempts
+def _cas_insert(frame, value, env):
+    """One successful lock-free insertion: read the pointer, CAS it forward.
+
+    Frame routine; locals carry the target cell's ``sid`` and the
+    ``node_value`` to swap in.  Returns the number of attempts taken.
+    """
+    L, label = frame.locals, frame.label
+    if label == START:
+        L["attempts"] = 0
+        return Call("sync.cell.read", {"sid": L["sid"]}, "read")
+    if label == "read":
+        L["attempts"] += 1
+        return Call(
+            "sync.cell.cas",
+            {"sid": L["sid"], "expected": value, "new": L["node_value"]},
+            "cas",
+        )
+    # label == "cas"
+    success, _ = value
+    if success:
+        return Ret(L["attempts"])
+    return Call("sync.cell.read", {"sid": L["sid"]}, "read")
 
 
 @register_workload("cas")
@@ -70,37 +83,53 @@ def build_cas_kernel(
     # LIFO and ADD use one pointer.
     tail_cell = sync.create_cell()
     head_cell = sync.create_cell() if kind is CasKernelKind.FIFO else tail_cell
+    tail_sid = tail_cell.sync_id
+    head_sid = head_cell.sync_id
     think_cycles = _instructions_to_cycles(
         critical_section_instructions, machine.config.core.issue_width
     )
 
-    def body(ctx):
-        pool_base = program.private_addr(ctx.thread_id)
-        successes = 0
-        operation_index = 0
-        while successes < successes_per_thread:
+    def body(frame, value, env):
+        L, label = frame.locals, frame.label
+        tid = env.ctx.thread_id
+        pool_base = program.private_addr(tid)
+        if label == START:
+            if successes_per_thread <= 0:
+                return Ret(0)
+            L["successes"] = 0
+            L["op"] = 0
             # Work between accesses to the shared structure.
-            yield Compute(think_cycles)
+            return Op(Compute(think_cycles), "computed")
+        op_index = L["op"]
+        if label == "computed":
             # Prepare the node in the private pool (one line touched).
-            node_addr = pool_base + (operation_index % 64) * 8
-            yield Write(node_addr, ctx.thread_id + 1)
-            node_value = ctx.thread_id * 1000 + operation_index + 1
-            if kind is CasKernelKind.ADD:
-                yield from _cas_insert(ctx, tail_cell, node_value)
-            elif kind is CasKernelKind.LIFO:
-                # Alternate push / pop on the same top pointer.
-                yield from _cas_insert(ctx, tail_cell, node_value)
-            else:  # FIFO: alternate enqueue on tail and dequeue from head.
-                target = tail_cell if operation_index % 2 == 0 else head_cell
-                yield from _cas_insert(ctx, target, node_value)
+            return Op(Write(pool_base + (op_index % 64) * 8, tid + 1), "prepared")
+        if label == "prepared":
+            # ADD and LIFO hammer one pointer; FIFO alternates enqueue on
+            # the tail with dequeue from the head.
+            if kind is CasKernelKind.FIFO and op_index % 2 != 0:
+                target = head_sid
+            else:
+                target = tail_sid
+            node_value = tid * 1000 + op_index + 1
+            return Call(
+                "cas.insert", {"sid": target, "node_value": node_value}, "inserted"
+            )
+        if label == "inserted":
             # Touch the node again (dequeue/pop reads it back).
-            yield Read(node_addr)
-            successes += 1
-            operation_index += 1
-        return successes
+            return Op(Read(pool_base + (op_index % 64) * 8), "touched")
+        # label == "touched"
+        successes = L["successes"] + 1
+        L["successes"] = successes
+        L["op"] = op_index + 1
+        if successes < successes_per_thread:
+            return Op(Compute(think_cycles), "computed")
+        return Ret(successes)
 
+    machine.register_frame_routine("cas.insert", _cas_insert)
+    machine.register_frame_routine("cas.body", body)
     for _ in range(num_threads):
-        program.add_thread(body)
+        program.add_thread(FrameBody("cas.body"))
     return WorkloadHandle(
         name=f"cas-{kind.value}",
         machine=machine,

@@ -21,11 +21,13 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
+from repro.cpu.frames import START, Call, FrameBody, Op, Ret
 from repro.errors import WorkloadError
 from repro.isa.operations import Compute, Read
 from repro.machine.manycore import Manycore
 from repro.runner.registry import register_workload
 from repro.sync.api import SyncFactory
+from repro.sync.frames import barrier_wait, cell_fetch_add
 from repro.workloads.base import WorkloadHandle
 
 #: Cycles of floating-point work charged per vector element processed.
@@ -62,58 +64,118 @@ def build_livermore_loop(
     sync = SyncFactory(program)
     barrier = sync.create_barrier(num_threads)
     reducer = sync.create_reducer()
+    barrier_sid = barrier.sync_id
+    reducer_sid = reducer.cell.sync_id
     line_bytes = machine.config.cache.line_bytes
     per_element = CYCLES_PER_ELEMENT[int(loop)]
 
-    def chunk_phase(ctx, elements: int):
-        """Process ``elements`` vector elements owned by this thread."""
+    def _share_of(elements: int, thread_id: int) -> int:
         share = max(0, elements // num_threads)
-        if ctx.thread_id < elements % num_threads:
+        if thread_id < elements % num_threads:
             share += 1
-        if share == 0:
-            return
-        base = program.private_addr(ctx.thread_id, offset_words=1024)
-        lines = max(1, (share * 8 + line_bytes - 1) // line_bytes)
-        for line_index in range(min(lines, 64)):
-            yield Read(base + line_index * line_bytes)
-        yield Compute(share * per_element)
+        return share
 
-    def loop2_body(ctx):
-        for _ in range(repetitions):
-            active = vector_length
-            while active >= 1:
-                yield from chunk_phase(ctx, active)
-                yield from barrier.wait(ctx)
-                if active == 1:
-                    break
-                active //= 2
-        return 0
+    def chunk_phase(frame, value, env):
+        """Process ``locals["elements"]`` vector elements owned by this thread."""
+        L, label = frame.locals, frame.label
+        tid = env.ctx.thread_id
+        share = _share_of(L["elements"], tid)
+        base = program.private_addr(tid, offset_words=1024)
+        if label == START:
+            if share == 0:
+                return Ret(None)
+            L["line"] = 0
+            return Op(Read(base), "read")
+        if label == "read":
+            lines = max(1, (share * 8 + line_bytes - 1) // line_bytes)
+            line = L["line"] + 1
+            if line < min(lines, 64):
+                L["line"] = line
+                return Op(Read(base + line * line_bytes), "read")
+            return Op(Compute(share * per_element), "computed")
+        return Ret(None)
 
-    def loop3_body(ctx):
-        for _ in range(repetitions):
-            yield from chunk_phase(ctx, vector_length)
-            yield from reducer.add(ctx, 1)
-            yield from barrier.wait(ctx)
-        return 0
+    def _chunk(elements: int, label: str) -> Call:
+        return Call("livermore.chunk", {"elements": elements}, label)
 
-    def loop6_body(ctx):
-        steps = min(vector_length, LOOP6_MAX_STEPS)
-        elements_per_step = max(1, vector_length // steps)
-        for _ in range(repetitions):
-            for step in range(1, steps + 1):
-                # The recurrence's inner work grows with the step index.
-                yield from chunk_phase(ctx, step * elements_per_step)
-                yield from barrier.wait(ctx)
-        return 0
+    def loop2_body(frame, value, env):
+        # Passes over a halving active portion, one barrier per pass.
+        L, label = frame.locals, frame.label
+        if label == START:
+            if repetitions == 0:
+                return Ret(0)
+            L["rep"] = 0
+            L["active"] = vector_length
+            return _chunk(vector_length, "chunked")
+        if label == "chunked":
+            return barrier_wait(barrier_sid, "joined")
+        # label == "joined"
+        active = L["active"]
+        if active > 1:
+            active //= 2
+            L["active"] = active
+            return _chunk(active, "chunked")
+        rep = L["rep"] + 1
+        if rep < repetitions:
+            L["rep"] = rep
+            L["active"] = vector_length
+            return _chunk(vector_length, "chunked")
+        return Ret(0)
+
+    def loop3_body(frame, value, env):
+        # Chunk-reduce into the shared accumulator, one barrier per rep.
+        L, label = frame.locals, frame.label
+        if label == START:
+            if repetitions == 0:
+                return Ret(0)
+            L["rep"] = 0
+            return _chunk(vector_length, "chunked")
+        if label == "chunked":
+            return cell_fetch_add(reducer_sid, 1, "reduced")
+        if label == "reduced":
+            return barrier_wait(barrier_sid, "joined")
+        # label == "joined"
+        rep = L["rep"] + 1
+        if rep < repetitions:
+            L["rep"] = rep
+            return _chunk(vector_length, "chunked")
+        return Ret(0)
+
+    steps = min(vector_length, LOOP6_MAX_STEPS)
+    elements_per_step = max(1, vector_length // steps)
+
+    def loop6_body(frame, value, env):
+        # The recurrence's inner work grows with the step index.
+        L, label = frame.locals, frame.label
+        if label == START:
+            if repetitions == 0:
+                return Ret(0)
+            L["rep"] = 0
+            L["step"] = 1
+            return _chunk(elements_per_step, "chunked")
+        if label == "chunked":
+            return barrier_wait(barrier_sid, "joined")
+        # label == "joined"
+        step = L["step"] + 1
+        if step <= steps:
+            L["step"] = step
+            return _chunk(step * elements_per_step, "chunked")
+        rep = L["rep"] + 1
+        if rep < repetitions:
+            L["rep"] = rep
+            L["step"] = 1
+            return _chunk(elements_per_step, "chunked")
+        return Ret(0)
 
     bodies = {
         LivermoreLoop.ICCG: loop2_body,
         LivermoreLoop.INNER_PRODUCT: loop3_body,
         LivermoreLoop.LINEAR_RECURRENCE: loop6_body,
     }
-    body = bodies[loop]
+    machine.register_frame_routine("livermore.chunk", chunk_phase)
+    machine.register_frame_routine("livermore.body", bodies[loop])
     for _ in range(num_threads):
-        program.add_thread(body)
+        program.add_thread(FrameBody("livermore.body"))
     return WorkloadHandle(
         name=f"livermore-loop{int(loop)}",
         machine=machine,

@@ -18,11 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.cpu.frames import START, FrameBody, Op, Ret
 from repro.errors import WorkloadError
 from repro.isa.operations import Compute, Read
 from repro.machine.manycore import Manycore
 from repro.runner.registry import register_workload
 from repro.sync.api import SyncFactory
+from repro.sync.frames import barrier_wait, cell_fetch_add, lock_acquire, lock_release
 from repro.workloads.base import WorkloadHandle
 
 
@@ -140,35 +142,91 @@ def build_application(
     reducer = sync.create_reducer() if profile.reductions_per_phase else None
     shared_lines = [program.alloc_shared() for _ in range(32)]
     line_bytes = machine.config.cache.line_bytes
+    barrier_sid = barrier.sync_id if barrier is not None else None
+    lock_sids = [lock.sync_id for lock in locks]
+    reducer_sid = reducer.cell.sync_id if reducer is not None else None
 
-    def body(ctx):
-        work = 0
-        for phase in range(phases):
-            # Compute portion of the phase, with a little per-thread jitter so
-            # that arrivals are not perfectly synchronized.
-            compute = ctx.rng.jitter(profile.compute_per_phase, fraction=0.05)
-            yield Compute(compute)
-            # Shared-data traffic of the phase.
-            for touch in range(profile.shared_lines_per_phase):
-                addr = shared_lines[(phase + touch + ctx.thread_id) % len(shared_lines)]
-                yield Read(addr)
-            # Lock-protected critical sections.
-            for acquisition in range(profile.locks_per_phase):
-                lock = locks[(ctx.thread_id + phase + acquisition) % len(locks)]
-                yield from lock.acquire(ctx)
-                yield Compute(profile.critical_section_cycles)
-                yield from lock.release(ctx)
-            # Reductions.
-            for _ in range(profile.reductions_per_phase):
-                yield from reducer.add(ctx, 1)
-            # Barrier crossings.
-            for _ in range(profile.barriers_per_phase):
-                yield from barrier.wait(ctx)
-            work += 1
-        return work
+    def _lock_sid(tid: int, phase: int, acquisition: int) -> int:
+        return lock_sids[(tid + phase + acquisition) % len(lock_sids)]
 
+    def body(frame, value, env):
+        L, label = frame.locals, frame.label
+        tid = env.ctx.thread_id
+
+        # The phase runs compute -> shared touches -> critical sections ->
+        # reductions -> barriers; each helper advances to the next stage
+        # when its counter is exhausted, mirroring the sequential loops of
+        # the generator version.
+        def begin_phase():
+            # Compute portion of the phase, with a little per-thread jitter
+            # so that arrivals are not perfectly synchronized.  (Called at
+            # the same point per phase as the generator did, keeping the
+            # rng stream identical.)
+            compute = env.ctx.rng.jitter(profile.compute_per_phase, fraction=0.05)
+            return Op(Compute(compute), "computed")
+
+        def touches():
+            touch = L["touch"]
+            if touch < profile.shared_lines_per_phase:
+                addr = shared_lines[(L["phase"] + touch + tid) % len(shared_lines)]
+                return Op(Read(addr), "touched")
+            return critical_sections()
+
+        def critical_sections():
+            acq = L["acq"]
+            if acq < profile.locks_per_phase:
+                return lock_acquire(_lock_sid(tid, L["phase"], acq), "acquired")
+            return reductions()
+
+        def reductions():
+            if L["red"] < profile.reductions_per_phase:
+                return cell_fetch_add(reducer_sid, 1, "reduced")
+            return barriers()
+
+        def barriers():
+            if L["bar"] < profile.barriers_per_phase:
+                return barrier_wait(barrier_sid, "joined")
+            return end_phase()
+
+        def end_phase():
+            L["work"] += 1
+            phase = L["phase"] + 1
+            if phase < phases:
+                L["phase"] = phase
+                return begin_phase()
+            return Ret(L["work"])
+
+        if label == START:
+            L["work"] = 0
+            L["phase"] = 0
+            return begin_phase()
+        if label == "computed":
+            L["touch"] = 0
+            L["acq"] = 0
+            L["red"] = 0
+            L["bar"] = 0
+            return touches()
+        if label == "touched":
+            L["touch"] += 1
+            return touches()
+        if label == "acquired":
+            return Op(Compute(profile.critical_section_cycles), "cs_done")
+        if label == "cs_done":
+            return lock_release(_lock_sid(tid, L["phase"], L["acq"]), "released")
+        if label == "released":
+            L["acq"] += 1
+            return critical_sections()
+        if label == "reduced":
+            L["red"] += 1
+            return reductions()
+        if label == "joined":
+            L["bar"] += 1
+            return barriers()
+        return Ret(L["work"])
+
+    machine.register_frame_routine("application.body", body)
     for _ in range(num_threads):
-        program.add_thread(body)
+        program.add_thread(FrameBody("application.body"))
     return WorkloadHandle(
         name=profile.name,
         machine=machine,

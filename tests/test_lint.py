@@ -316,6 +316,123 @@ class TestSnap001:
         assert rule_ids(findings) == ["SNAP001"]
         assert "self.new_cache" in findings[0].message
 
+    def test_frame_slot_missing_from_capture(self, tmp_path):
+        write_tree(tmp_path, {
+            "cpu/frames.py": """
+                class Frame:
+                    __slots__ = ("routine", "label", "locals", "widget")
+            """,
+            "snapshot/native.py": """
+                def _capture_thread(thread):
+                    return [
+                        {"routine": frame.routine, "label": frame.label,
+                         "locals": dict(frame.locals)}
+                        for frame in thread.frames
+                    ]
+            """,
+        })
+        findings = lint(tmp_path, select=["SNAP001"])
+        assert rule_ids(findings) == ["SNAP001"]
+        assert "'widget'" in findings[0].message
+
+    def test_frame_slots_all_captured(self, tmp_path):
+        write_tree(tmp_path, {
+            "cpu/frames.py": """
+                class Frame:
+                    __slots__ = ("routine", "label", "locals")
+            """,
+            "snapshot/native.py": """
+                def _capture_thread(thread):
+                    return [
+                        {"routine": frame.routine, "label": frame.label,
+                         "locals": dict(frame.locals)}
+                        for frame in thread.frames
+                    ]
+            """,
+        })
+        assert lint(tmp_path, select=["SNAP001"]) == []
+
+
+# --------------------------------------------------------------- SNAP002
+class TestSnap002:
+    def test_flags_closure_and_set_stores(self, tmp_path):
+        write_tree(tmp_path, {
+            "workloads/mod.py": """
+                def _step(frame, value, env):
+                    L, label = frame.locals, frame.label
+                    L["callback"] = lambda x: x + 1
+                    L["pending"] = set()
+                    L["seen"] = {1, 2, 3}
+                    frame.locals["table"] = {"a": 1}
+                    return None
+            """,
+        })
+        findings = lint(tmp_path, select=["SNAP002"])
+        assert rule_ids(findings) == ["SNAP002"] * 4
+        messages = " ".join(f.message for f in findings)
+        assert "'callback'" in messages and "lambda" in messages
+        assert "'pending'" in messages
+        assert "'table'" in messages and "dict" in messages
+
+    def test_plain_data_stores_are_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "workloads/mod.py": """
+                def _step(frame, value, env):
+                    L, label = frame.locals, frame.label
+                    L["iter"] = 0
+                    L["name"] = "x"
+                    L["pair"] = (1, 2)
+                    L["flags"] = [True, False]
+                    old, success = value
+                    L["old"] = old
+                    return None
+            """,
+        })
+        assert lint(tmp_path, select=["SNAP002"]) == []
+
+    def test_alias_free_functions_not_confused(self, tmp_path):
+        # Subscript stores into unrelated dicts are not frame locals.
+        write_tree(tmp_path, {
+            "workloads/mod.py": """
+                def _step(frame, value, env):
+                    cache = {}
+                    cache["fn"] = lambda x: x
+                    return None
+
+                def helper(table):
+                    table["fn"] = lambda x: x
+            """,
+        })
+        assert lint(tmp_path, select=["SNAP002"]) == []
+
+    def test_flags_bad_locals_template(self, tmp_path):
+        write_tree(tmp_path, {
+            "workloads/mod.py": """
+                def build(sid):
+                    return Call("sync.barrier.wait", {sid: 1}, "waited")
+
+                def spawn():
+                    return FrameBody("body", {"hook": lambda: None})
+            """,
+        })
+        findings = lint(tmp_path, select=["SNAP002"])
+        assert rule_ids(findings) == ["SNAP002"] * 2
+        messages = " ".join(f.message for f in findings)
+        assert "string constant" in messages
+        assert "lambda" in messages
+
+    def test_good_locals_template_is_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "workloads/mod.py": """
+                def build(sid, label):
+                    return Call("sync.barrier.wait", {"sid": sid}, label)
+
+                def spawn():
+                    return FrameBody("body")
+            """,
+        })
+        assert lint(tmp_path, select=["SNAP002"]) == []
+
 
 # -------------------------------------------------------------- PROTO001
 class TestProto001:
@@ -583,7 +700,15 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("DET001", "DET002", "SNAP001", "PROTO001", "ERR001", "SLOT001"):
+        for rule_id in (
+            "DET001",
+            "DET002",
+            "SNAP001",
+            "SNAP002",
+            "PROTO001",
+            "ERR001",
+            "SLOT001",
+        ):
             assert rule_id in out
 
 

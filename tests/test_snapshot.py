@@ -234,7 +234,7 @@ class TestSnapshotFormat:
         snapshot = self._snapshot()
         summary = snapshot.describe()
         assert summary["events_processed"] == 2000
-        assert summary["strategy"] == "replay"
+        assert summary["strategy"] == "native"
         assert summary["spec_key"] == snapshot.spec.key()
         assert summary["rng_streams"] > 0
 
@@ -283,12 +283,12 @@ class TestCaptureRestore:
         with pytest.raises(SnapshotError, match="nothing to checkpoint"):
             execution.capture()
 
-    def test_native_strategy_is_rejected_with_guidance(self):
+    def test_native_strategy_without_payload_is_rejected(self):
         snapshot = Snapshot(
             spec=tight(), events_processed=100, clock=100,
             strategy=STRATEGY_NATIVE,
         )
-        with pytest.raises(SnapshotError, match="generator frames"):
+        with pytest.raises(SnapshotError, match="no machine payload"):
             SpecExecution.from_snapshot(snapshot)
 
     def test_native_verification_catches_drift(self):
@@ -603,7 +603,7 @@ class TestSnapshotCli:
         assert main(["snapshot", "inspect", str(path)]) == 0
         summary = json.loads(capsys.readouterr().out)
         assert summary["events_processed"] == 3000
-        assert summary["strategy"] == "replay"
+        assert summary["strategy"] == "native"
 
         result_path = tmp_path / "result.json"
         assert main([
